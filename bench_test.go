@@ -1,0 +1,171 @@
+package fsim
+
+// Benchmarks: one per table and figure of the paper's evaluation (§5), each
+// running the corresponding experiment harness on reduced ("Quick")
+// workloads so `go test -bench=.` exercises every reproduction path in
+// minutes. Full-scale runs (the numbers recorded in EXPERIMENTS.md) come
+// from `go run ./cmd/fsimbench <experiment>`.
+//
+// The Ablation* benchmarks isolate the design decisions called out in
+// DESIGN.md §5: greedy vs exact Hungarian mapping, and the dense-array vs
+// hash-map candidate stores.
+
+import (
+	"io"
+	"testing"
+
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Out: io.Discard, Quick: true, Threads: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (Figure 1 example scores).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable5 regenerates Table 5 (initialization sensitivity).
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// BenchmarkFig4 regenerates Figure 4 (θ and w* sensitivity).
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figure 5 (robustness to data errors).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6 (upper-bound sensitivity).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7 (runtime and candidates vs θ).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8 (datasets × optimizations).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (threads and density scaling).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkTable6 regenerates Table 6 (pattern-matching F1).
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// BenchmarkTable7 regenerates Table 7 (top-5 venues for WWW).
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, "table7") }
+
+// BenchmarkTable8 regenerates Table 8 (node-similarity nDCG).
+func BenchmarkTable8(b *testing.B) { benchExperiment(b, "table8") }
+
+// BenchmarkTable9 regenerates Table 9 (graph-alignment F1).
+func BenchmarkTable9(b *testing.B) { benchExperiment(b, "table9") }
+
+// benchGraph is the shared micro-benchmark workload.
+func benchGraph() *Graph {
+	spec := dataset.MustPaperSpec("NELL", 240)
+	return spec.Generate()
+}
+
+// BenchmarkEngineVariants times one full FSim computation per variant on
+// the quick NELL stand-in (the per-variant cost ordering of Fig 7).
+func BenchmarkEngineVariants(b *testing.B) {
+	g := benchGraph()
+	for _, variant := range Variants {
+		b.Run(variant.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := DefaultOptions(variant)
+				opts.Threads = 1
+				opts.MaxIters = 10
+				if _, err := Compute(g, g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMatching isolates the greedy-vs-Hungarian mapping
+// choice inside the bj variant (DESIGN.md §5): exact matching restores
+// Theorem 1's C3 at a large constant-factor cost.
+func BenchmarkAblationMatching(b *testing.B) {
+	g := dataset.MustPaperSpec("NELL", 480).Generate()
+	for _, mode := range []struct {
+		name  string
+		exact bool
+	}{{"greedy", false}, {"hungarian", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := DefaultOptions(BJ)
+				opts.Threads = 1
+				opts.MaxIters = 6
+				ops := OperatorsFor(BJ)
+				ops.ExactMatching = mode.exact
+				opts.Operators = &ops
+				if _, err := Compute(g, g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStore isolates the candidate-store choice: the dense
+// array + bitmap vs the literal hash map of Algorithm 1, at θ = 1.
+func BenchmarkAblationStore(b *testing.B) {
+	g := benchGraph()
+	for _, mode := range []struct {
+		name string
+		cap  int
+	}{{"dense-bitmap", 0}, {"hash-map", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := DefaultOptions(BJ)
+				opts.Theta = 1
+				opts.Threads = 1
+				opts.MaxIters = 10
+				opts.DenseCapPairs = mode.cap
+				if _, err := Compute(g, g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactSimulation times the maximal-relation fixpoint per variant
+// (the "yes-or-no" substrate the fractional scores are validated against).
+func BenchmarkExactSimulation(b *testing.B) {
+	g := dataset.RandomGraph(5, 60, 150, 3)
+	for _, variant := range Variants {
+		b.Run(variant.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exact.MaximalSimulation(g, g, variant)
+			}
+		})
+	}
+}
+
+// BenchmarkUpperBoundBuild times candidate construction with Eq. 6 bounds
+// (the one-off cost the {ub} optimization pays before iterating).
+func BenchmarkUpperBoundBuild(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts := DefaultOptions(BJ)
+		opts.Threads = 1
+		opts.MaxIters = 1
+		opts.Epsilon = 1e-9
+		opts.UpperBoundOpt = &core.UpperBound{Alpha: 0, Beta: 0.5}
+		if _, err := Compute(g, g, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command fsim computes fractional χ-simulation scores between two graphs
+// given in the text format ("n <label>" / "e <u> <v>" lines).
+//
+// Usage:
+//
+//	fsim [flags] <graph1> [<graph2>]
+//
+// With one graph argument, scores are computed from the graph to itself.
+// By default the top scoring pairs are printed; use -u to list the best
+// matches of a single node, or -all to dump every maintained pair.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fsim"
+)
+
+func main() {
+	variantFlag := flag.String("variant", "bj", "simulation variant: s, dp, b, or bj")
+	wplus := flag.Float64("wplus", 0.4, "out-neighbor weight w+")
+	wminus := flag.Float64("wminus", 0.4, "in-neighbor weight w-")
+	theta := flag.Float64("theta", 0, "label-constrained mapping threshold θ in [0,1]")
+	labelFn := flag.String("label", "jw", "label similarity: indicator, edit, or jw")
+	ubBeta := flag.Float64("ub", -1, "enable upper-bound pruning with this β (negative = off)")
+	threads := flag.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS)")
+	topN := flag.Int("top", 20, "print the N best-scoring pairs")
+	node := flag.Int("u", -1, "print the best matches of this node of graph1 instead")
+	all := flag.Bool("all", false, "dump every maintained pair")
+	flag.Parse()
+
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		fmt.Fprintln(os.Stderr, "usage: fsim [flags] <graph1> [<graph2>]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g1, err := fsim.ReadGraphFile(flag.Arg(0))
+	fatal(err)
+	g2 := g1
+	if flag.NArg() == 2 {
+		g2, err = fsim.ReadGraphFile(flag.Arg(1))
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "G1: %s\nG2: %s\n", g1.Stats(), g2.Stats())
+
+	variant, err := fsim.ParseVariant(*variantFlag)
+	fatal(err)
+	opts := fsim.DefaultOptions(variant)
+	opts.WPlus = *wplus
+	opts.WMinus = *wminus
+	opts.Theta = *theta
+	opts.Threads = *threads
+	switch *labelFn {
+	case "indicator":
+		opts.Label = fsim.Indicator
+	case "edit":
+		opts.Label = fsim.NormalizedEditDistance
+	case "jw":
+		opts.Label = fsim.JaroWinkler
+	default:
+		fatal(fmt.Errorf("unknown -label %q", *labelFn))
+	}
+	if *ubBeta >= 0 {
+		opts.UpperBoundOpt = &fsim.UpperBound{Alpha: 0, Beta: *ubBeta}
+	}
+
+	res, err := fsim.Compute(g1, g2, opts)
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "converged=%v iterations=%d candidates=%d pruned=%d time=%s\n",
+		res.Converged, res.Iterations, res.CandidateCount, res.PrunedCount, res.Duration)
+
+	switch {
+	case *node >= 0:
+		for _, r := range res.TopK(fsim.NodeID(*node), *topN) {
+			fmt.Printf("%d\t%d\t%.6f\n", *node, r.Index, r.Score)
+		}
+	case *all:
+		res.ForEach(func(u, v fsim.NodeID, s float64) {
+			fmt.Printf("%d\t%d\t%.6f\n", u, v, s)
+		})
+	default:
+		type scored struct {
+			u, v fsim.NodeID
+			s    float64
+		}
+		var best []scored
+		res.ForEach(func(u, v fsim.NodeID, s float64) {
+			if len(best) < *topN {
+				best = append(best, scored{u, v, s})
+				for i := len(best) - 1; i > 0 && best[i].s > best[i-1].s; i-- {
+					best[i], best[i-1] = best[i-1], best[i]
+				}
+				return
+			}
+			if s <= best[len(best)-1].s {
+				return
+			}
+			best[len(best)-1] = scored{u, v, s}
+			for i := len(best) - 1; i > 0 && best[i].s > best[i-1].s; i-- {
+				best[i], best[i-1] = best[i-1], best[i]
+			}
+		})
+		for _, b := range best {
+			fmt.Printf("%d\t%d\t%.6f\n", b.u, b.v, b.s)
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,50 @@
+// Command fsimbench regenerates the tables and figures of the paper's
+// evaluation section (§5) on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	fsimbench [-quick] [-threads N] [-seed S] <experiment|all> [more experiments...]
+//
+// Experiments: table2 table5 fig4 fig5 fig6 fig7 fig8 fig9 table6 table7
+// table8 table9 (see DESIGN.md §4 for the experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fsim/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced workloads (smoke-test sizes)")
+	threads := flag.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 0, "seed offset for all generators")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fsimbench [-quick] [-threads N] [-seed S] <experiment|all>...\n\nexperiments:\n")
+		for _, e := range experiments.Registry() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Desc)
+		}
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{
+		Out:     os.Stdout,
+		Quick:   *quick,
+		Threads: *threads,
+		Seed:    *seed,
+	}
+	for _, id := range flag.Args() {
+		start := time.Now()
+		if err := experiments.Run(id, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fsimbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %.1fs]\n", id, time.Since(start).Seconds())
+	}
+}

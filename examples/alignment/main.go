@@ -1,0 +1,40 @@
+// RDF graph alignment (the paper's §5.4 third case study): align two
+// versions of an evolving graph whose node identities persist, comparing
+// exact bisimulation (collapses under drift), k-bisimulation signatures,
+// and fractional b-simulation alignment (Au = argmax_v FSim_b(u, v)).
+package main
+
+import (
+	"fmt"
+
+	"fsim"
+	"fsim/internal/align"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+)
+
+func main() {
+	spec := dataset.MustPaperSpec("GP", 200) // biological-style graph, 8 labels
+	base := spec.Generate()
+	g1, g2, _ := align.Versions(base, align.Evolve{NodeGrowth: 0.04, EdgeChurn: 0.03, Seed: 5})
+	fmt.Println("G1:", g1.Stats())
+	fmt.Println("G2:", g2.Stats(), "(evolved: 4% node growth, 3% edge churn)")
+	fmt.Println()
+
+	aligners := []align.Aligner{
+		align.ExactBisimAligner{},
+		&align.KBisimAligner{K: 2},
+		align.EWSAligner{},
+		&align.FSimAligner{Variant: exact.B},
+	}
+	for _, a := range aligners {
+		result := a.Align(g1, g2)
+		fmt.Printf("%-8s F1 = %5.1f%%\n", a.Name(), 100*align.F1(result, g2.NumNodes()))
+	}
+
+	fmt.Println()
+	fmt.Println("Exact bisimulation demands perfect structural agreement, so graph")
+	fmt.Println("evolution destroys it; the fractional score degrades gracefully and")
+	fmt.Println("argmax alignment recovers most identities (the paper's Table 9).")
+	_ = fsim.B
+}

@@ -1,0 +1,55 @@
+// Pattern matching on a product co-purchase graph (the paper's §5.4 first
+// case study, Amazon workload): extract a query subgraph, corrupt it with
+// structural and label noise, and compare exact strong simulation — which
+// returns nothing once the query is noisy — against FSims-seeded
+// approximate matching, which still recovers the region.
+package main
+
+import (
+	"fmt"
+
+	"fsim"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/pattern"
+)
+
+func main() {
+	// A scaled-down Amazon-like co-purchase graph (82 category labels,
+	// power-law degrees; see internal/dataset for the Table 4 stand-ins).
+	spec := dataset.MustPaperSpec("Amazon", 400)
+	g := spec.Generate()
+	fmt.Println("data graph:", g.Stats())
+
+	matchers := []pattern.Matcher{
+		pattern.StrongSimMatcher{},
+		&pattern.TSpanMatcher{Budget: 3},
+		&pattern.FSimMatcher{Variant: exact.S},
+	}
+
+	for _, sc := range []pattern.Scenario{pattern.Exact, pattern.NoisyE, pattern.Combined} {
+		fmt.Printf("\n--- scenario %s (up to 33%% noise) ---\n", sc)
+		for qi := 0; qi < 5; qi++ {
+			q := pattern.GenerateQuery(g, 6+qi, sc, 0.33, int64(100+qi))
+			if q == nil {
+				continue
+			}
+			fmt.Printf("query %d (%d nodes, %d edges): ", qi, q.Graph.NumNodes(), q.Graph.NumEdges())
+			for _, m := range matchers {
+				match := m.Match(q.Graph, g)
+				if match == nil {
+					fmt.Printf("%s: no result  ", m.Name())
+					continue
+				}
+				fmt.Printf("%s: F1=%.2f  ", m.Name(), pattern.F1(match, q.Truth))
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Strong simulation is exact by nature: noise usually leaves it with no")
+	fmt.Println("result. FSims quantifies partial simulation, so a top-1 match region")
+	fmt.Println("can always be produced and scored (the paper's strength S1).")
+	_ = fsim.S // the public API re-exports the variants used above
+}

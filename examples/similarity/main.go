@@ -1,0 +1,43 @@
+// Node similarity on a bibliographic network (the paper's §5.4 second case
+// study, DBIS workload): rank the venues most similar to "WWW". The
+// network contains duplicate venue identities (WWW1/WWW2/WWW3) sharing
+// WWW's author community; a good similarity measure should surface them.
+package main
+
+import (
+	"fmt"
+
+	"fsim"
+	"fsim/internal/exact"
+	"fsim/internal/nodesim"
+)
+
+func main() {
+	net := nodesim.Generate(nodesim.Params{Authors: 300, PapersPerAuthor: 3, Seed: 7})
+	fmt.Println("bibliographic graph:", net.G.Stats())
+	fmt.Printf("venues: %d (including the planted duplicates WWW1/WWW2/WWW3)\n\n", len(net.Venues))
+
+	subject := net.VenueIndex("WWW")
+	measures := []nodesim.Measure{
+		nodesim.PathSim{},
+		nodesim.NSimGram{},
+		&nodesim.FSimMeasure{Variant: exact.B},
+		&nodesim.FSimMeasure{Variant: exact.BJ},
+	}
+
+	for _, m := range measures {
+		scores := m.VenueScores(net)
+		fmt.Printf("%-9s top-5 for WWW: ", m.Name())
+		for _, r := range nodesim.TopVenues(scores, subject, 5) {
+			fmt.Printf("%s(%.3f) ", net.VenueName[r.Index], r.Score)
+		}
+		fmt.Printf(" | nDCG@15 = %.3f\n", nodesim.MeanNDCG(net, scores, 15))
+	}
+
+	fmt.Println()
+	fmt.Println("Fractional bijective simulation (FSim_bj) treats the duplicates'")
+	fmt.Println("author communities as near-bijectively matched neighborhoods, which")
+	fmt.Println("is why the paper proposes it as a node similarity measure (P3:")
+	fmt.Println("converse-invariant variants are symmetric).")
+	_ = fsim.BJ
+}

@@ -1,0 +1,153 @@
+// Package fsim is the public API of this repository: a Go implementation
+// of "A Framework to Quantify Approximate Simulation on Graph Data"
+// (Chen, Lai, Qin, Lin, Liu; ICDE 2021, arXiv:2010.08938).
+//
+// The library quantifies, for every pair of nodes (u, v) across two
+// node-labeled directed graphs, the degree FSimχ(u, v) ∈ [0, 1] to which u
+// is approximately χ-simulated by v, for four simulation variants χ:
+//
+//   - Simple simulation (S): every neighbor of u must be simulated by some
+//     neighbor of v.
+//   - Degree-preserving simulation (DP): the neighbor mapping must be
+//     injective.
+//   - Bisimulation (B): the converse relation must also be a simulation.
+//   - Bijective simulation (BJ): the neighbor mapping must be bijective
+//     (the paper's new variant, as discriminating as the Weisfeiler-Lehman
+//     test).
+//
+// Quick start:
+//
+//	b := fsim.NewBuilder()
+//	u := b.AddNode("person")
+//	p := b.AddNode("post")
+//	b.MustAddEdge(u, p)
+//	g := b.Build()
+//	res, err := fsim.Compute(g, g, fsim.DefaultOptions(fsim.BJ))
+//	score := res.Score(u, u) // 1.0
+//
+// Exact ("yes-or-no") χ-simulation checks, strong simulation,
+// k-bisimulation signatures and the WL test live alongside the fractional
+// framework; SimRank and RoleSim are available as framework presets
+// (paper §4.3). The subpackages under internal/ implement the evaluation
+// substrates (synthetic datasets, pattern matching, node similarity and
+// graph alignment case studies); the cmd/fsimbench binary regenerates
+// every table and figure of the paper.
+package fsim
+
+import (
+	"fsim/internal/core"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+	"fsim/internal/strsim"
+)
+
+// Graph is a node-labeled directed graph (immutable; build via Builder).
+type Graph = graph.Graph
+
+// Builder accumulates nodes and edges for a Graph.
+type Builder = graph.Builder
+
+// NodeID identifies a node within one Graph.
+type NodeID = graph.NodeID
+
+// Subgraph is an induced subgraph with parent-id mappings.
+type Subgraph = graph.Subgraph
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// ReadGraphFile parses a graph from the line-oriented text format
+// ("n <label>" / "e <u> <v>").
+func ReadGraphFile(path string) (*Graph, error) { return graph.ReadFile(path) }
+
+// Variant identifies a χ-simulation variant.
+type Variant = exact.Variant
+
+// The four χ-simulation variants of the paper (Definitions 2 and 3).
+const (
+	S  = exact.S
+	DP = exact.DP
+	B  = exact.B
+	BJ = exact.BJ
+)
+
+// Variants lists all four variants in paper order.
+var Variants = exact.Variants
+
+// ParseVariant maps "s", "dp", "b", "bj" to a Variant.
+func ParseVariant(s string) (Variant, error) { return exact.ParseVariant(s) }
+
+// Options configures a fractional χ-simulation computation.
+type Options = core.Options
+
+// UpperBound configures §3.4's upper-bound pruning optimization.
+type UpperBound = core.UpperBound
+
+// Operators is the mapping/normalizing operator bundle of Equation 2 —
+// the framework's extension point (§4.3).
+type Operators = core.Operators
+
+// Result holds converged FSimχ scores and computation diagnostics.
+type Result = core.Result
+
+// DefaultOptions returns the paper's experimental defaults (§5.1):
+// w⁺ = w⁻ = 0.4, Jaro-Winkler labels, relative convergence at 0.01.
+func DefaultOptions(v Variant) Options { return core.DefaultOptions(v) }
+
+// OperatorsFor returns Table 3's operator configuration for a variant.
+func OperatorsFor(v Variant) Operators { return core.OperatorsFor(v) }
+
+// Compute runs the FSimχ framework over (g1, g2) and returns the
+// fractional χ-simulation scores of all maintained node pairs.
+func Compute(g1, g2 *Graph, opts Options) (*Result, error) { return core.Compute(g1, g2, opts) }
+
+// SimRank computes SimRank via the framework configuration of §4.3.
+func SimRank(g *Graph, decay float64, iters int) (*Result, error) {
+	return core.SimRank(g, decay, iters)
+}
+
+// RoleSim computes RoleSim role similarity via the framework configuration
+// of §4.3.
+func RoleSim(g *Graph, beta float64, iters int) (*Result, error) {
+	return core.RoleSim(g, beta, iters)
+}
+
+// Relation is a binary relation R ⊆ V1 × V2 (bitset-backed).
+type Relation = exact.Relation
+
+// MaximalSimulation computes the maximal exact χ-simulation relation:
+// u ⇝χ v iff the result Contains(u, v).
+func MaximalSimulation(g1, g2 *Graph, v Variant) *Relation {
+	return exact.MaximalSimulation(g1, g2, v)
+}
+
+// Simulated reports the exact check u ⇝χ v.
+func Simulated(g1, g2 *Graph, u, v NodeID, variant Variant) bool {
+	return exact.Simulated(g1, g2, u, v, variant)
+}
+
+// StrongMatch is a strong-simulation match (Ma et al.).
+type StrongMatch = exact.StrongMatch
+
+// StrongSimulation computes all strong-simulation matches of query q in g.
+func StrongSimulation(q, g *Graph) []*StrongMatch { return exact.StrongSimulation(q, g) }
+
+// KBisimulation computes k-bisimulation signature colors: nodes u, v are
+// k-bisimilar iff colors[u] == colors[v] (§4.3, Theorem 4).
+func KBisimulation(g *Graph, k int) []exact.Color { return exact.KBisimulation(g, k) }
+
+// WLResult is the outcome of a joint Weisfeiler-Lehman refinement.
+type WLResult = exact.WLResult
+
+// WL runs the WL test jointly over two graphs (§4.3, Theorem 5).
+func WL(g1, g2 *Graph, maxIter int) *WLResult { return exact.WL(g1, g2, maxIter) }
+
+// Label similarity functions for Options.Label (paper §3.3).
+var (
+	// Indicator is L_I: 1 iff the labels are equal.
+	Indicator strsim.Func = strsim.Indicator
+	// NormalizedEditDistance is L_E.
+	NormalizedEditDistance strsim.Func = strsim.NormalizedEditDistance
+	// JaroWinkler is L_J (the paper's default).
+	JaroWinkler strsim.Func = strsim.JaroWinkler
+)

@@ -1,0 +1,80 @@
+package fsim
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPublicAPIRoundTrip exercises the facade end to end: build, compute,
+// exact check, serialization, presets.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("person")
+	p := b.AddNode("post")
+	q := b.AddNode("post")
+	b.MustAddEdge(u, p)
+	b.MustAddEdge(u, q)
+	g := b.Build()
+
+	for _, variant := range Variants {
+		res, err := Compute(g, g, DefaultOptions(variant))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := res.Score(u, u); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("%v: self score %v", variant, s)
+		}
+		if !Simulated(g, g, u, u, variant) {
+			t.Fatalf("%v: u should simulate itself", variant)
+		}
+	}
+
+	// The two posts are bj-similar (identical neighborhoods).
+	res, err := Compute(g, g, DefaultOptions(BJ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := res.Score(p, q); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("posts should be bj-similar, got %v", s)
+	}
+
+	// File round trip through the facade.
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("file round trip changed the graph")
+	}
+	_ = os.Remove(path)
+
+	// Presets run through the facade.
+	if _, err := SimRank(g, 0.8, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RoleSim(g, 0.15, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Variant parsing and the WL/k-bisimulation bridges.
+	if v, err := ParseVariant("bj"); err != nil || v != BJ {
+		t.Fatal("ParseVariant failed")
+	}
+	colors := KBisimulation(g, 2)
+	if colors[p] != colors[q] {
+		t.Fatal("identical posts should share k-bisimulation signatures")
+	}
+	wl := WL(g, g, 10)
+	if !wl.Same(p, q) {
+		t.Fatal("identical posts should share WL colors")
+	}
+	if len(StrongSimulation(g, g)) == 0 {
+		t.Fatal("a graph should strongly match itself somewhere")
+	}
+}

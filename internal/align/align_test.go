@@ -1,0 +1,175 @@
+package align
+
+import (
+	"testing"
+
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+)
+
+func testBase() *graph.Graph {
+	return dataset.MustPaperSpec("GP", 400).Generate()
+}
+
+func TestF1Formula(t *testing.T) {
+	// Two nodes: node 0 aligned to {0,1} (hit, |Au|=2 → Pu=1/2, Ru=1 →
+	// term 2·(1/2)·1/(3/2) = 2/3), node 1 aligned to {0} (miss → 0).
+	alignment := [][]graph.NodeID{{0, 1}, {0}}
+	got := F1(alignment, 2)
+	want := (2.0 / 3.0) / 2.0
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("F1 = %v, want %v", got, want)
+	}
+	if F1(nil, 2) != 0 {
+		t.Fatal("empty alignment should be 0")
+	}
+	// Perfect singleton alignment scores 1.
+	perfect := [][]graph.NodeID{{0}, {1}}
+	if F1(perfect, 2) != 1 {
+		t.Fatal("perfect alignment should be 1")
+	}
+}
+
+func TestEvolvePreservesIdentity(t *testing.T) {
+	base := testBase()
+	g2 := Evolve{NodeGrowth: 0.05, EdgeChurn: 0.05, Seed: 3}.Apply(base)
+	if g2.NumNodes() <= base.NumNodes() {
+		t.Fatal("evolution should add nodes")
+	}
+	// Shared prefix keeps labels (the URI ground truth).
+	for u := 0; u < base.NumNodes(); u++ {
+		if base.NodeLabelName(graph.NodeID(u)) != g2.NodeLabelName(graph.NodeID(u)) {
+			t.Fatal("evolution changed an existing node's label")
+		}
+	}
+	// Churn moved some edges.
+	diff := 0
+	base.Edges(func(u, v graph.NodeID) bool {
+		if !g2.HasEdge(u, v) {
+			diff++
+		}
+		return true
+	})
+	if diff == 0 {
+		t.Fatal("no edge churn happened")
+	}
+}
+
+// TestAlignersIdentityGraph verifies that aligning a graph with itself
+// recovers the identity well for the single-assignment baselines, and that
+// the FSim aligner is near-perfect (every Au must contain u).
+func TestAlignersIdentityGraph(t *testing.T) {
+	g := testBase()
+	// Identity alignment: FSim of (g, g) must put u in Au for every u
+	// (FSim(u,u) = 1 by P2, and 1 is the maximum).
+	fa := &FSimAligner{Variant: exact.B, Threads: 1}
+	alignment := fa.Align(g, g)
+	for u, au := range alignment {
+		found := false
+		for _, v := range au {
+			if int(v) == u {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("FSim_b self-alignment misses identity at %d", u)
+		}
+	}
+	if f1 := F1(alignment, g.NumNodes()); f1 < 0.5 {
+		t.Fatalf("self alignment F1 = %v, want ≥ 0.5", f1)
+	}
+}
+
+// TestFSimBeatsSignatureBaselines verifies the Table 9 ordering on an
+// evolved pair: FSim alignment scores above the k-bisimulation and exact
+// bisimulation baselines.
+func TestFSimBeatsSignatureBaselines(t *testing.T) {
+	base := testBase()
+	g1, g2, _ := Versions(base, Evolve{NodeGrowth: 0.04, EdgeChurn: 0.03, Seed: 9})
+
+	fsim := &FSimAligner{Variant: exact.B, Threads: 1}
+	fsimF1 := F1(fsim.Align(g1, g2), g2.NumNodes())
+
+	for _, baseline := range []Aligner{
+		ExactBisimAligner{},
+		&KBisimAligner{K: 2},
+		&KBisimAligner{K: 4},
+	} {
+		bF1 := F1(baseline.Align(g1, g2), g2.NumNodes())
+		if bF1 >= fsimF1 {
+			t.Errorf("%s F1 %.3f ≥ FSim_b %.3f — expected FSim to win", baseline.Name(), bF1, fsimF1)
+		}
+	}
+	if fsimF1 < 0.3 {
+		t.Errorf("FSim_b alignment F1 %.3f unexpectedly low", fsimF1)
+	}
+}
+
+// TestAlignersProduceValidSets checks structural invariants of every
+// aligner: indices in range and singleton aligners stay injective.
+func TestAlignersProduceValidSets(t *testing.T) {
+	base := dataset.MustPaperSpec("GP", 800).Generate()
+	g1, g2, _ := Versions(base, Evolve{NodeGrowth: 0.05, EdgeChurn: 0.04, Seed: 21})
+	aligners := []Aligner{
+		ExactBisimAligner{},
+		&KBisimAligner{K: 2},
+		OlapAligner{},
+		GSANAAligner{},
+		FINALAligner{Iters: 4},
+		EWSAligner{},
+		&FSimAligner{Variant: exact.BJ, Threads: 1},
+	}
+	for _, a := range aligners {
+		res := a.Align(g1, g2)
+		if len(res) != g1.NumNodes() {
+			t.Fatalf("%s: result length %d", a.Name(), len(res))
+		}
+		for u, au := range res {
+			for _, v := range au {
+				if v < 0 || int(v) >= g2.NumNodes() {
+					t.Fatalf("%s: out-of-range alignment %d -> %d", a.Name(), u, v)
+				}
+			}
+		}
+	}
+	// Injectivity for the greedy single-assignment aligners.
+	for _, a := range []Aligner{GSANAAligner{}, EWSAligner{}} {
+		res := a.Align(g1, g2)
+		seen := map[graph.NodeID]bool{}
+		for _, au := range res {
+			if len(au) == 0 {
+				continue
+			}
+			if len(au) != 1 {
+				t.Fatalf("%s: non-singleton result", a.Name())
+			}
+			if seen[au[0]] {
+				t.Fatalf("%s: non-injective assignment", a.Name())
+			}
+			seen[au[0]] = true
+		}
+	}
+}
+
+// TestOlapFallsBackToCoarserLevels verifies the hierarchical behaviour:
+// Olap aligns at least as many nodes as plain 4-bisimulation.
+func TestOlapFallsBackToCoarserLevels(t *testing.T) {
+	base := testBase()
+	g1, g2, _ := Versions(base, Evolve{NodeGrowth: 0.04, EdgeChurn: 0.05, Seed: 33})
+	olap := OlapAligner{}.Align(g1, g2)
+	kb := (&KBisimAligner{K: 4}).Align(g1, g2)
+	countAligned := func(res [][]graph.NodeID) int {
+		n := 0
+		for _, au := range res {
+			if len(au) > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if countAligned(olap) < countAligned(kb) {
+		t.Fatalf("Olap aligned %d < 4-bisim %d", countAligned(olap), countAligned(kb))
+	}
+}

@@ -1,0 +1,203 @@
+package align
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+	"fsim/internal/matching"
+)
+
+// jointSignatures runs k rounds of out-neighbor signature refinement over
+// the disjoint union of g1 and g2, so signature values are comparable
+// across graphs (the alignment form of k-bisimulation).
+func jointSignatures(g1, g2 *graph.Graph, k int) ([]exact.Color, []exact.Color) {
+	b := graph.NewBuilder()
+	for u := 0; u < g1.NumNodes(); u++ {
+		b.AddNode(g1.NodeLabelName(graph.NodeID(u)))
+	}
+	off := graph.NodeID(g1.NumNodes())
+	for v := 0; v < g2.NumNodes(); v++ {
+		b.AddNode(g2.NodeLabelName(graph.NodeID(v)))
+	}
+	g1.Edges(func(u, v graph.NodeID) bool { b.MustAddEdge(u, v); return true })
+	g2.Edges(func(u, v graph.NodeID) bool { b.MustAddEdge(u+off, v+off); return true })
+	union := b.Build()
+	colors := exact.KBisimulation(union, k)
+	return colors[:g1.NumNodes()], colors[g1.NumNodes():]
+}
+
+// KBisimAligner aligns u to every v with an equal k-bisimulation signature
+// (the paper's x-bisim baselines; Table 9 uses k = 2 and k = 4).
+type KBisimAligner struct{ K int }
+
+func (a *KBisimAligner) Name() string { return fmt.Sprintf("%d-bisim", a.K) }
+
+func (a *KBisimAligner) Align(g1, g2 *graph.Graph) [][]graph.NodeID {
+	c1, c2 := jointSignatures(g1, g2, a.K)
+	byColor := map[exact.Color][]graph.NodeID{}
+	for v, c := range c2 {
+		byColor[c] = append(byColor[c], graph.NodeID(v))
+	}
+	out := make([][]graph.NodeID, len(c1))
+	for u, c := range c1 {
+		out[u] = byColor[c]
+	}
+	return out
+}
+
+// ExactBisimAligner aligns u to every v in the maximal bisimulation
+// relation — the strict baseline the paper reports at 0% F1 (graph
+// evolution destroys exact bisimilarity).
+type ExactBisimAligner struct{}
+
+func (ExactBisimAligner) Name() string { return "bisim" }
+
+func (ExactBisimAligner) Align(g1, g2 *graph.Graph) [][]graph.NodeID {
+	rel := exact.MaximalSimulation(g1, g2, exact.B)
+	out := make([][]graph.NodeID, g1.NumNodes())
+	for u := 0; u < g1.NumNodes(); u++ {
+		rel.Row(u, func(v int) { out[u] = append(out[u], graph.NodeID(v)) })
+	}
+	return out
+}
+
+// OlapAligner re-implements the core idea of Olap (Buneman & Staworko,
+// PVLDB'16): hierarchical bisimulation-based alignment. Each node is
+// aligned at the deepest refinement level at which it still has signature
+// mates in the other graph, so structurally drifted nodes fall back to
+// coarser blocks instead of dropping out entirely.
+type OlapAligner struct {
+	// MaxK bounds the refinement depth; 0 means 6.
+	MaxK int
+}
+
+func (OlapAligner) Name() string { return "Olap" }
+
+func (a OlapAligner) Align(g1, g2 *graph.Graph) [][]graph.NodeID {
+	maxK := a.MaxK
+	if maxK == 0 {
+		maxK = 6
+	}
+	out := make([][]graph.NodeID, g1.NumNodes())
+	unresolved := g1.NumNodes()
+	for k := maxK; k >= 0 && unresolved > 0; k-- {
+		c1, c2 := jointSignatures(g1, g2, k)
+		byColor := map[exact.Color][]graph.NodeID{}
+		for v, c := range c2 {
+			byColor[c] = append(byColor[c], graph.NodeID(v))
+		}
+		for u, c := range c1 {
+			if out[u] != nil {
+				continue
+			}
+			if mates := byColor[c]; len(mates) > 0 {
+				out[u] = mates
+				unresolved--
+			}
+		}
+	}
+	return out
+}
+
+// structSig summarizes a node for seeding and coarse similarity: label,
+// degrees, and the multisets of in/out neighbor labels.
+func structSig(g *graph.Graph, u graph.NodeID) string {
+	var buf []byte
+	buf = append(buf, g.NodeLabelName(u)...)
+	buf = binary.AppendVarint(buf, int64(g.OutDegree(u)))
+	buf = binary.AppendVarint(buf, int64(g.InDegree(u)))
+	collect := func(neigh []graph.NodeID) {
+		labels := make([]string, len(neigh))
+		for i, v := range neigh {
+			labels[i] = g.NodeLabelName(v)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			buf = append(buf, 0)
+			buf = append(buf, l...)
+		}
+	}
+	collect(g.Out(u))
+	buf = append(buf, 1)
+	collect(g.In(u))
+	return string(buf)
+}
+
+// GSANAAligner re-implements the core idea of GSA_NA (Yasar & Çatalyürek,
+// KDD'18): a global one-pass assignment from label + degree + neighborhood
+// label statistics, without iterative refinement of pairwise scores.
+type GSANAAligner struct{}
+
+func (GSANAAligner) Name() string { return "GSA_NA" }
+
+func (GSANAAligner) Align(g1, g2 *graph.Graph) [][]graph.NodeID {
+	// Bucket by label to keep the candidate product tractable, then score
+	// by degree affinity and pick a global greedy matching.
+	byLabel := map[string][]graph.NodeID{}
+	for v := 0; v < g2.NumNodes(); v++ {
+		l := g2.NodeLabelName(graph.NodeID(v))
+		byLabel[l] = append(byLabel[l], graph.NodeID(v))
+	}
+	var edges []matching.Edge
+	for u := 0; u < g1.NumNodes(); u++ {
+		un := graph.NodeID(u)
+		for _, v := range byLabel[g1.NodeLabelName(un)] {
+			w := degreeAffinity(g1, un, g2, v) + neighborLabelOverlap(g1, un, g2, v)
+			edges = append(edges, matching.Edge{I: u, J: int(v), W: w})
+		}
+	}
+	picked, _ := matching.Greedy(edges)
+	assign := make([]graph.NodeID, g1.NumNodes())
+	for i := range assign {
+		assign[i] = -1
+	}
+	for _, e := range picked {
+		assign[e.I] = graph.NodeID(e.J)
+	}
+	return singletons(assign)
+}
+
+func degreeAffinity(g1 *graph.Graph, u graph.NodeID, g2 *graph.Graph, v graph.NodeID) float64 {
+	f := func(a, b int) float64 {
+		min, max := a, b
+		if min > max {
+			min, max = max, min
+		}
+		if max == 0 {
+			return 1
+		}
+		return float64(min+1) / float64(max+1)
+	}
+	return (f(g1.OutDegree(u), g2.OutDegree(v)) + f(g1.InDegree(u), g2.InDegree(v))) / 2
+}
+
+func neighborLabelOverlap(g1 *graph.Graph, u graph.NodeID, g2 *graph.Graph, v graph.NodeID) float64 {
+	count := func(g *graph.Graph, neigh []graph.NodeID, m map[string]int) {
+		for _, w := range neigh {
+			m[g.NodeLabelName(w)]++
+		}
+	}
+	m1 := map[string]int{}
+	count(g1, g1.Out(u), m1)
+	count(g1, g1.In(u), m1)
+	m2 := map[string]int{}
+	count(g2, g2.Out(v), m2)
+	count(g2, g2.In(v), m2)
+	overlap, total := 0, 0
+	for l, c1 := range m1 {
+		c2 := m2[l]
+		if c2 < c1 {
+			overlap += c2
+		} else {
+			overlap += c1
+		}
+		total += c1
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(overlap) / float64(total)
+}

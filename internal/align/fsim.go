@@ -1,0 +1,44 @@
+package align
+
+import (
+	"fmt"
+
+	"fsim/internal/core"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+	"fsim/internal/strsim"
+)
+
+// FSimAligner aligns u to Au = argmax_v FSimχ(u, v), the paper's alignment
+// rule. The symmetric variants b and bj apply (alignment needs converse
+// invariance, strength S2).
+type FSimAligner struct {
+	Variant exact.Variant
+	Threads int
+	// Theta defaults to 1: RDF labels are exact, so only same-label pairs
+	// are maintained — the configuration the paper's efficiency runs use.
+	Theta *float64
+}
+
+func (a *FSimAligner) Name() string { return fmt.Sprintf("FSim_%v", a.Variant) }
+
+// Align implements Aligner.
+func (a *FSimAligner) Align(g1, g2 *graph.Graph) [][]graph.NodeID {
+	opts := core.DefaultOptions(a.Variant)
+	opts.Label = strsim.Indicator
+	opts.Theta = 1
+	if a.Theta != nil {
+		opts.Theta = *a.Theta
+	}
+	opts.Threads = a.Threads
+	res, err := core.Compute(g1, g2, opts)
+	if err != nil {
+		panic(fmt.Sprintf("align: FSim compute failed: %v", err))
+	}
+	out := make([][]graph.NodeID, g1.NumNodes())
+	for u := 0; u < g1.NumNodes(); u++ {
+		au, _ := res.ArgMax(graph.NodeID(u))
+		out[u] = au
+	}
+	return out
+}

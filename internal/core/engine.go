@@ -1,0 +1,379 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+
+	"fsim/internal/graph"
+	"fsim/internal/strsim"
+)
+
+// pairKey packs a (u, v) candidate pair into one comparable word.
+type pairKey uint64
+
+func makeKey(u, v graph.NodeID) pairKey { return pairKey(uint64(uint32(u))<<32 | uint64(uint32(v))) }
+
+func (k pairKey) split() (graph.NodeID, graph.NodeID) {
+	return graph.NodeID(k >> 32), graph.NodeID(uint32(k))
+}
+
+// bitset is a fixed-size bit vector marking candidate pairs in dense mode.
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+func (b bitset) count() (total int) {
+	for _, w := range b {
+		total += bits.OnesCount64(w)
+	}
+	return
+}
+
+// engine holds one computation's immutable configuration and mutable score
+// buffers (Algorithm 1's Hc / Hp). Two stores implement the candidate map:
+//
+//   - dense: two flat arrays over the full |V1|×|V2| pair universe plus a
+//     candidate bitmap. Non-candidate entries hold their constant stand-in
+//     (0, or α·FSim̄ for pruned pairs) in both buffers, so the mapping
+//     operators read scores with one array load and the update loop simply
+//     skips non-candidates — upper-bound pruning then reduces work
+//     proportionally, as in the paper.
+//   - sparse: a hash map keyed by pair (the literal Hc of Algorithm 1),
+//     used when the pair universe exceeds the dense memory cap.
+type engine struct {
+	g1, g2 *graph.Graph
+	opts   Options
+	ops    *Operators
+	table  *strsim.Table
+	n1, n2 int
+
+	labels1, labels2 []graph.Label
+
+	dense bool
+	// allPairs marks the fully-dense case (θ = 0, no pruning): every pair
+	// is a candidate and the loops iterate rows directly.
+	allPairs bool
+	// Candidate enumeration (both stores).
+	candPairs []pairKey
+	candBits  bitset // dense only; nil = all pairs
+	rowOff    []int32
+	index     map[pairKey]int32   // sparse only
+	prunedUB  map[pairKey]float64 // sparse only, α > 0
+
+	prev, cur []float64
+
+	prunedCount int
+}
+
+// Compute runs the FSimχ framework on (g1, g2) and returns the fractional
+// χ-simulation scores of all maintained node pairs. g1 and g2 may be the
+// same graph (self-similarity, as in the paper's single-graph experiments).
+func Compute(g1, g2 *graph.Graph, opts Options) (*Result, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e := &engine{
+		g1: g1, g2: g2,
+		opts: opts,
+		ops:  opts.Operators,
+		n1:   g1.NumNodes(), n2: g2.NumNodes(),
+	}
+	e.table = strsim.NewTable(opts.Label, g1.LabelNames(), g2.LabelNames())
+	e.labels1 = make([]graph.Label, e.n1)
+	for u := 0; u < e.n1; u++ {
+		e.labels1[u] = g1.Label(graph.NodeID(u))
+	}
+	e.labels2 = make([]graph.Label, e.n2)
+	for v := 0; v < e.n2; v++ {
+		e.labels2[v] = g2.Label(graph.NodeID(v))
+	}
+
+	e.dense = e.n1*e.n2 <= opts.DenseCapPairs
+	e.buildCandidates()
+	e.initScores()
+
+	res := &Result{
+		g1: g1, g2: g2,
+		opts:  opts,
+		dense: e.dense,
+		all:   e.allPairs,
+		n1:    e.n1, n2: e.n2,
+		candBits:    e.candBits,
+		index:       e.index,
+		rowOff:      e.rowOff,
+		pairs:       e.candPairs,
+		prunedUB:    e.prunedUB,
+		PrunedCount: e.prunedCount,
+	}
+	if e.allPairs {
+		res.CandidateCount = e.n1 * e.n2
+	} else {
+		res.CandidateCount = len(e.candPairs)
+	}
+
+	res.Work = make([]int64, opts.Threads)
+	for it := 1; it <= opts.MaxIters; it++ {
+		maxAbs, maxRel := e.iterate(res.Work)
+		res.Iterations = it
+		res.Deltas = append(res.Deltas, maxAbs)
+		e.prev, e.cur = e.cur, e.prev
+		var done bool
+		if opts.RelativeEps {
+			done = maxRel < opts.Epsilon
+		} else {
+			done = maxAbs < opts.Epsilon
+		}
+		if done {
+			res.Converged = true
+			break
+		}
+	}
+	res.scores = e.prev // latest completed iteration after the final swap
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// labelSim returns the cached L(ℓ1(u), ℓ2(v)).
+func (e *engine) labelSim(u, v graph.NodeID) float64 {
+	return e.table.Sim(int(e.labels1[u]), int(e.labels2[v]))
+}
+
+// eligible implements the label constraint of Remark 2.
+func (e *engine) eligible(x, y graph.NodeID) bool {
+	return e.table.Sim(int(e.labels1[x]), int(e.labels2[y])) >= e.opts.Theta
+}
+
+// eligibleFn returns the constraint for the mapping operators. The dense
+// store returns nil even for θ > 0: non-candidate entries hold constant 0
+// (or α·FSim̄) scores, which contribute exactly what the constrained
+// mapping would — 0 from ineligible pairs, the stand-in from pruned ones —
+// so per-element label checks are unnecessary.
+func (e *engine) eligibleFn() func(x, y graph.NodeID) bool {
+	if e.dense || e.opts.Theta == 0 {
+		return nil
+	}
+	return e.eligible
+}
+
+// candidate decides membership in Hc and (with ub on) returns the pruning
+// stand-in for rejected-but-eligible pairs.
+func (e *engine) candidate(u, v graph.NodeID) (ok bool, standIn float64, pruned bool) {
+	ls := e.table.Sim(int(e.labels1[u]), int(e.labels2[v]))
+	if ls < e.opts.Theta {
+		return false, 0, false
+	}
+	if ub := e.opts.UpperBoundOpt; ub != nil {
+		bound := e.upperBound(u, v, ls)
+		if bound <= ub.Beta {
+			return false, ub.Alpha * bound, true
+		}
+	}
+	return true, 0, false
+}
+
+// buildCandidates enumerates Hc (Algorithm 1's Initializing step): pairs
+// passing the label constraint (L ≥ θ) and, when upper-bound updating is
+// on, pairs whose Eq. 6 bound exceeds β.
+func (e *engine) buildCandidates() {
+	e.allPairs = e.dense && e.opts.Theta == 0 && e.opts.UpperBoundOpt == nil
+	if e.dense {
+		e.prev = make([]float64, e.n1*e.n2)
+		e.cur = make([]float64, e.n1*e.n2)
+		if e.allPairs {
+			return // every pair is a candidate
+		}
+		e.candBits = newBitset(e.n1 * e.n2)
+	}
+	if !e.dense {
+		e.index = make(map[pairKey]int32)
+		if ub := e.opts.UpperBoundOpt; ub != nil && ub.Alpha > 0 {
+			e.prunedUB = make(map[pairKey]float64)
+		}
+	}
+	e.rowOff = make([]int32, e.n1+1)
+	for u := 0; u < e.n1; u++ {
+		e.rowOff[u] = int32(len(e.candPairs))
+		for v := 0; v < e.n2; v++ {
+			un, vn := graph.NodeID(u), graph.NodeID(v)
+			ok, standIn, pruned := e.candidate(un, vn)
+			if !ok {
+				if pruned {
+					e.prunedCount++
+				}
+				if e.dense && standIn > 0 {
+					// Constant stand-in lives in both buffers forever.
+					e.prev[u*e.n2+v] = standIn
+					e.cur[u*e.n2+v] = standIn
+				}
+				if !e.dense && pruned && e.prunedUB != nil && e.opts.UpperBoundOpt.Alpha > 0 {
+					e.prunedUB[makeKey(un, vn)] = standIn / e.opts.UpperBoundOpt.Alpha
+				}
+				continue
+			}
+			k := makeKey(un, vn)
+			if e.dense {
+				e.candBits.set(u*e.n2 + v)
+			} else {
+				e.index[k] = int32(len(e.candPairs))
+			}
+			e.candPairs = append(e.candPairs, k)
+		}
+	}
+	e.rowOff[e.n1] = int32(len(e.candPairs))
+	if !e.dense {
+		e.prev = make([]float64, len(e.candPairs))
+		e.cur = make([]float64, len(e.candPairs))
+	}
+}
+
+// scoreIndex maps a candidate list position to its score-buffer index.
+func (e *engine) scoreIndex(pos int) int {
+	if e.dense {
+		u, v := e.candPairs[pos].split()
+		return int(u)*e.n2 + int(v)
+	}
+	return pos
+}
+
+// initScores fills prev with FSim⁰ for every candidate pair.
+func (e *engine) initScores() {
+	initFn := e.opts.Init
+	set := func(u, v graph.NodeID, i int) {
+		ls := e.labelSim(u, v)
+		if initFn != nil {
+			e.prev[i] = initFn(e.g1, e.g2, u, v, ls)
+		} else {
+			e.prev[i] = ls
+		}
+		if e.opts.PinDiagonal && u == v {
+			e.prev[i] = 1
+		}
+	}
+	if e.allPairs { // dense, all pairs
+		for u := 0; u < e.n1; u++ {
+			for v := 0; v < e.n2; v++ {
+				set(graph.NodeID(u), graph.NodeID(v), u*e.n2+v)
+			}
+		}
+		return
+	}
+	for pos, k := range e.candPairs {
+		u, v := k.split()
+		set(u, v, e.scoreIndex(pos))
+	}
+}
+
+// iterate runs one synchronous update of every candidate pair (Lines 4–9 of
+// Algorithm 1), sharding pairs round-robin over the configured workers. It
+// returns the maximum absolute and relative score changes.
+func (e *engine) iterate(work []int64) (maxAbs, maxRel float64) {
+	threads := e.opts.Threads
+	absPer := make([]float64, threads)
+	relPer := make([]float64, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			scratch := newOpScratch()
+			lookup := e.lookupFunc()
+			eligible := e.eligibleFn()
+			var localWork int64
+			var localAbs, localRel float64
+			damping := e.opts.Damping
+			update := func(u, v graph.NodeID, i int) {
+				s := e.updatePair(u, v, eligible, lookup, scratch)
+				localWork += int64(e.g1.OutDegree(u))*int64(e.g2.OutDegree(v)) +
+					int64(e.g1.InDegree(u))*int64(e.g2.InDegree(v)) + 1
+				if damping > 0 {
+					s = damping*e.prev[i] + (1-damping)*s
+				}
+				e.cur[i] = s
+				d := s - e.prev[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > localAbs {
+					localAbs = d
+				}
+				if p := e.prev[i]; p > 0 {
+					if r := d / p; r > localRel {
+						localRel = r
+					}
+				} else if d > 0 {
+					localRel = 1 // score appeared from zero: not converged
+				}
+			}
+			if e.allPairs { // dense over the full universe
+				for u := t; u < e.n1; u += threads {
+					for v := 0; v < e.n2; v++ {
+						update(graph.NodeID(u), graph.NodeID(v), u*e.n2+v)
+					}
+				}
+			} else {
+				for pos := t; pos < len(e.candPairs); pos += threads {
+					u, v := e.candPairs[pos].split()
+					update(u, v, e.scoreIndex(pos))
+				}
+			}
+			absPer[t] = localAbs
+			relPer[t] = localRel
+			work[t] += localWork
+		}(t)
+	}
+	wg.Wait()
+	for t := 0; t < threads; t++ {
+		if absPer[t] > maxAbs {
+			maxAbs = absPer[t]
+		}
+		if relPer[t] > maxRel {
+			maxRel = relPer[t]
+		}
+	}
+	return maxAbs, maxRel
+}
+
+// lookupFunc returns the previous-iteration score accessor used by the
+// mapping operators. The dense store is a single array load (non-candidate
+// entries already hold their constant stand-in). The sparse store resolves
+// missing pairs per §3.4: pruned pairs yield α·FSim̄, ineligible pairs 0.
+func (e *engine) lookupFunc() func(x, y graph.NodeID) float64 {
+	if e.dense {
+		n2 := e.n2
+		return func(x, y graph.NodeID) float64 { return e.prev[int(x)*n2+int(y)] }
+	}
+	alpha := 0.0
+	if ub := e.opts.UpperBoundOpt; ub != nil {
+		alpha = ub.Alpha
+	}
+	return func(x, y graph.NodeID) float64 {
+		if i, ok := e.index[makeKey(x, y)]; ok {
+			return e.prev[i]
+		}
+		if alpha > 0 {
+			if b, ok := e.prunedUB[makeKey(x, y)]; ok {
+				return alpha * b
+			}
+		}
+		return 0
+	}
+}
+
+// updatePair evaluates Equation 3 for one pair.
+func (e *engine) updatePair(u, v graph.NodeID, eligible func(x, y graph.NodeID) bool, lookup func(x, y graph.NodeID) float64, scratch *opScratch) float64 {
+	if e.opts.PinDiagonal && u == v {
+		return 1
+	}
+	o := e.opts
+	s := (1 - o.WPlus - o.WMinus) * e.labelSim(u, v)
+	if o.WPlus > 0 {
+		s += o.WPlus * e.ops.neighborScore(e.g1.Out(u), e.g2.Out(v), eligible, lookup, scratch)
+	}
+	if o.WMinus > 0 {
+		s += o.WMinus * e.ops.neighborScore(e.g1.In(u), e.g2.In(v), eligible, lookup, scratch)
+	}
+	return s
+}

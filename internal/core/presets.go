@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"fsim/internal/graph"
+)
+
+// SimRankOptions configures the framework to compute SimRank (paper §4.3):
+// a single unlabeled graph, in-neighbors only (w⁻ = decay C), the product
+// mapping M = S1 × S2 with Ω = |S1|·|S2|, L ≡ 0, FSim⁰(u,v) = [u = v], and
+// the diagonal pinned at 1. Pass the same unlabeled graph as both g1 and
+// g2 to Compute (see graph.Unlabeled).
+func SimRankOptions(decay float64) Options {
+	return Options{
+		Operators: &Operators{
+			Mapping:   MapProduct,
+			Norm:      NormProduct,
+			EmptyBoth: 0, EmptyS1: 0, EmptyS2: 0, // SimRank: no in-neighbors ⇒ 0
+		},
+		WPlus:  0,
+		WMinus: decay,
+		Label:  func(a, b string) float64 { return 0 },
+		Init: func(_, _ *graph.Graph, u, v graph.NodeID, _ float64) float64 {
+			if u == v {
+				return 1
+			}
+			return 0
+		},
+		PinDiagonal: true,
+		Epsilon:     1e-4,
+	}
+}
+
+// SimRank computes SimRank similarity scores of all node pairs of g via the
+// FSimχ framework. The graph is unlabeled and undirectedness is NOT
+// applied; SimRank propagates along in-neighbors.
+func SimRank(g *graph.Graph, decay float64, iters int) (*Result, error) {
+	if decay <= 0 || decay >= 1 {
+		return nil, fmt.Errorf("core: SimRank decay must be in (0,1), got %v", decay)
+	}
+	u := g.Unlabeled()
+	opts := SimRankOptions(decay)
+	if iters > 0 {
+		opts.MaxIters = iters
+		opts.Epsilon = 1e-12 // run the full requested rounds
+		opts.RelativeEps = false
+	}
+	return Compute(u, u, opts)
+}
+
+// RoleSimOptions configures the framework to compute RoleSim (paper §4.3):
+// the undirected neighborhood is carried by out-edges only (w⁻ = 0), the
+// injective greedy matching normalized by the *larger* degree (RoleSim's
+// axiomatic normalization), L ≡ 1 via an unlabeled graph, decay factor
+// beta as the (1−w⁺) label share, and FSim⁰(u,v) = min(d(u),d(v)) /
+// max(d(u),d(v)).
+func RoleSimOptions(beta float64) Options {
+	return Options{
+		Operators: &Operators{
+			Mapping:   MapInjective,
+			Norm:      NormMax,
+			EmptyBoth: 1, EmptyS1: 0, EmptyS2: 0,
+		},
+		WPlus:  1 - beta,
+		WMinus: 0,
+		Label:  func(a, b string) float64 { return 1 },
+		Init: func(g1, g2 *graph.Graph, u, v graph.NodeID, _ float64) float64 {
+			du, dv := g1.OutDegree(u), g2.OutDegree(v)
+			if du == 0 && dv == 0 {
+				return 1
+			}
+			min, max := du, dv
+			if min > max {
+				min, max = max, min
+			}
+			return float64(min) / float64(max)
+		},
+		Epsilon: 1e-4,
+	}
+}
+
+// RoleSim computes RoleSim role similarity of all node pairs of g via the
+// FSimχ framework, treating g as undirected and unlabeled.
+func RoleSim(g *graph.Graph, beta float64, iters int) (*Result, error) {
+	if beta <= 0 || beta >= 1 {
+		return nil, fmt.Errorf("core: RoleSim beta must be in (0,1), got %v", beta)
+	}
+	u := g.Undirected().Unlabeled()
+	opts := RoleSimOptions(beta)
+	if iters > 0 {
+		opts.MaxIters = iters
+		opts.Epsilon = 1e-12
+		opts.RelativeEps = false
+	}
+	return Compute(u, u, opts)
+}

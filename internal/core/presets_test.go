@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fsim/internal/dataset"
+	"fsim/internal/graph"
+)
+
+// naiveSimRank is a direct implementation of Jeh & Widom's SimRank for
+// cross-checking the framework configuration of §4.3.
+func naiveSimRank(g *graph.Graph, c float64, iters int) [][]float64 {
+	n := g.NumNodes()
+	prev := make([][]float64, n)
+	cur := make([][]float64, n)
+	for i := range prev {
+		prev[i] = make([]float64, n)
+		cur[i] = make([]float64, n)
+		prev[i][i] = 1
+	}
+	for it := 0; it < iters; it++ {
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v {
+					cur[u][v] = 1
+					continue
+				}
+				iu, iv := g.In(graph.NodeID(u)), g.In(graph.NodeID(v))
+				if len(iu) == 0 || len(iv) == 0 {
+					cur[u][v] = 0
+					continue
+				}
+				sum := 0.0
+				for _, a := range iu {
+					for _, b := range iv {
+						sum += prev[a][b]
+					}
+				}
+				cur[u][v] = c * sum / (float64(len(iu)) * float64(len(iv)))
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev
+}
+
+// TestSimRankEquivalence verifies that the SimRank preset reproduces the
+// direct SimRank iteration exactly (same iteration count, same scores).
+func TestSimRankEquivalence(t *testing.T) {
+	g := dataset.RandomGraph(41, 25, 70, 3)
+	const c = 0.8
+	const iters = 12
+	want := naiveSimRank(g.Unlabeled(), c, iters)
+	res, err := SimRank(g, c, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			got := res.Score(graph.NodeID(u), graph.NodeID(v))
+			if math.Abs(got-want[u][v]) > 1e-9 {
+				t.Fatalf("SimRank(%d,%d): framework %v, direct %v", u, v, got, want[u][v])
+			}
+		}
+	}
+}
+
+// TestRoleSimProperties verifies the axiomatic properties the RoleSim
+// configuration must satisfy: range, symmetry, self-similarity 1, and
+// automorphic confirmation on structurally identical nodes.
+func TestRoleSimProperties(t *testing.T) {
+	// A star: the leaves are automorphically equivalent.
+	b := graph.NewBuilder()
+	hub := b.AddNode("x")
+	var leaves []graph.NodeID
+	for i := 0; i < 4; i++ {
+		l := b.AddNode("x")
+		b.MustAddEdge(hub, l)
+		leaves = append(leaves, l)
+	}
+	g := b.Build()
+	res, err := RoleSim(g, 0.15, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		if s := res.Score(graph.NodeID(u), graph.NodeID(u)); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("RoleSim(%d,%d) = %v, want 1", u, u, s)
+		}
+		for v := 0; v < n; v++ {
+			s, s2 := res.Score(graph.NodeID(u), graph.NodeID(v)), res.Score(graph.NodeID(v), graph.NodeID(u))
+			if s < 0 || s > 1+1e-12 {
+				t.Fatalf("RoleSim out of range: %v", s)
+			}
+			if math.Abs(s-s2) > 1e-9 {
+				t.Fatalf("RoleSim not symmetric at (%d,%d): %v vs %v", u, v, s, s2)
+			}
+		}
+	}
+	for _, a := range leaves {
+		for _, b2 := range leaves {
+			if s := res.Score(a, b2); math.Abs(s-1) > 1e-9 {
+				t.Fatalf("automorphic leaves (%d,%d) score %v, want 1", a, b2, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"time"
+
+	"fsim/internal/graph"
+	"fsim/internal/stats"
+)
+
+// Result holds the converged FSimχ scores plus computation diagnostics.
+type Result struct {
+	g1, g2 *graph.Graph
+	opts   Options
+	dense  bool
+	all    bool // every pair is a candidate (θ = 0, no pruning)
+	n1, n2 int
+
+	scores   []float64 // dense: n1*n2 entries; sparse: aligned to pairs
+	pairs    []pairKey // candidate pairs; nil = every pair (dense)
+	candBits bitset    // dense candidate bitmap; nil = every pair
+	index    map[pairKey]int32
+	rowOff   []int32
+	prunedUB map[pairKey]float64
+
+	// Iterations is the number of update rounds executed.
+	Iterations int
+	// Converged reports whether the epsilon criterion was met before
+	// MaxIters.
+	Converged bool
+	// Deltas records the maximum absolute score change of each iteration
+	// (the Δk of Theorem 1; it decreases monotonically under the maximum
+	// mapping operator).
+	Deltas []float64
+	// CandidateCount is |Hc|, the number of maintained node pairs.
+	CandidateCount int
+	// PrunedCount is the number of label-eligible pairs removed by
+	// upper-bound pruning.
+	PrunedCount int
+	// Work holds per-worker accumulated work units (Σ neighbor-product
+	// sizes); its spread measures the round-robin load balance.
+	Work []int64
+	// Duration is the wall-clock computation time.
+	Duration time.Duration
+}
+
+// Graphs returns the two input graphs.
+func (r *Result) Graphs() (*graph.Graph, *graph.Graph) { return r.g1, r.g2 }
+
+// Options returns the normalized options the computation ran with.
+func (r *Result) Options() Options { return r.opts }
+
+// Score returns FSimχ(u, v). Pairs outside the candidate set return their
+// §3.4 stand-in: α·FSim̄ when upper-bound pruning retained the bound, else
+// 0.
+func (r *Result) Score(u, v graph.NodeID) float64 {
+	if r.dense {
+		return r.scores[int(u)*r.n2+int(v)]
+	}
+	k := makeKey(u, v)
+	if i, ok := r.index[k]; ok {
+		return r.scores[i]
+	}
+	if r.prunedUB != nil {
+		if b, ok := r.prunedUB[k]; ok {
+			return r.opts.UpperBoundOpt.Alpha * b
+		}
+	}
+	return 0
+}
+
+// Contains reports whether the pair (u, v) is maintained in the candidate
+// map Hc.
+func (r *Result) Contains(u, v graph.NodeID) bool {
+	if r.all {
+		return true
+	}
+	if r.dense {
+		return r.candBits.get(int(u)*r.n2 + int(v))
+	}
+	_, ok := r.index[makeKey(u, v)]
+	return ok
+}
+
+// scoreAt returns the score of the candidate at list position pos.
+func (r *Result) scoreAt(pos int) float64 {
+	if r.dense {
+		u, v := r.pairs[pos].split()
+		return r.scores[int(u)*r.n2+int(v)]
+	}
+	return r.scores[pos]
+}
+
+// ForEach calls fn for every maintained pair in deterministic (u, v) order.
+func (r *Result) ForEach(fn func(u, v graph.NodeID, score float64)) {
+	if r.all {
+		for u := 0; u < r.n1; u++ {
+			for v := 0; v < r.n2; v++ {
+				fn(graph.NodeID(u), graph.NodeID(v), r.scores[u*r.n2+v])
+			}
+		}
+		return
+	}
+	for pos, k := range r.pairs {
+		u, v := k.split()
+		fn(u, v, r.scoreAt(pos))
+	}
+}
+
+// Row returns the maintained scores of node u as (v, score) pairs in
+// ascending v order.
+func (r *Result) Row(u graph.NodeID) []stats.Ranked {
+	if r.all {
+		out := make([]stats.Ranked, r.n2)
+		for v := 0; v < r.n2; v++ {
+			out[v] = stats.Ranked{Index: v, Score: r.scores[int(u)*r.n2+v]}
+		}
+		return out
+	}
+	lo, hi := r.rowOff[u], r.rowOff[u+1]
+	out := make([]stats.Ranked, 0, hi-lo)
+	for pos := lo; pos < hi; pos++ {
+		_, v := r.pairs[pos].split()
+		out = append(out, stats.Ranked{Index: int(v), Score: r.scoreAt(int(pos))})
+	}
+	return out
+}
+
+// TopK returns the k best-scoring v for node u (descending score,
+// ascending v on ties).
+func (r *Result) TopK(u graph.NodeID, k int) []stats.Ranked {
+	row := r.Row(u)
+	scores := make([]float64, len(row))
+	for i, e := range row {
+		scores[i] = e.Score
+	}
+	top := stats.TopK(scores, k)
+	out := make([]stats.Ranked, len(top))
+	for i, t := range top {
+		out[i] = stats.Ranked{Index: row[t.Index].Index, Score: t.Score}
+	}
+	return out
+}
+
+// ArgMax returns every v attaining max_v FSim(u, v) over the maintained
+// pairs of u (the alignment case study's Au), with the attained score;
+// an empty row returns (nil, 0).
+func (r *Result) ArgMax(u graph.NodeID) ([]graph.NodeID, float64) {
+	row := r.Row(u)
+	if len(row) == 0 {
+		return nil, 0
+	}
+	best := row[0].Score
+	for _, e := range row[1:] {
+		if e.Score > best {
+			best = e.Score
+		}
+	}
+	var out []graph.NodeID
+	for _, e := range row {
+		if e.Score == best {
+			out = append(out, graph.NodeID(e.Index))
+		}
+	}
+	return out, best
+}
+
+// SampleScores evaluates Score over the supplied pairs; sensitivity
+// experiments correlate such vectors across configurations.
+func (r *Result) SampleScores(pairs [][2]graph.NodeID) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = r.Score(p[0], p[1])
+	}
+	return out
+}
+
+// LoadBalance returns max(work)/mean(work) across workers — 1.0 is a
+// perfectly even shard (the paper's round-robin distribution claim,
+// Fig 9(a)). Returns 1 when a single worker ran.
+func (r *Result) LoadBalance() float64 {
+	if len(r.Work) <= 1 {
+		return 1
+	}
+	var sum, max int64
+	for _, w := range r.Work {
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(r.Work))
+	return float64(max) / mean
+}

@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fsim/internal/graph"
+)
+
+func TestPaperSpecs(t *testing.T) {
+	for _, name := range DatasetNames() {
+		spec, err := PaperSpec(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Nodes < 16 || spec.Edges <= 0 || spec.Labels < 8 {
+			t.Fatalf("%s: degenerate spec %+v", name, spec)
+		}
+		if spec.MaxOut >= spec.Nodes || spec.MaxIn >= spec.Nodes {
+			t.Fatalf("%s: max degree not clamped: %+v", name, spec)
+		}
+	}
+	if _, err := PaperSpec("NoSuch", 0); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+// TestGenerateMatchesSpec verifies the generator lands near the target
+// statistics: node count exact, edge count within 20% (stub collisions
+// drop some), every label present, max degrees not exceeding the spec.
+func TestGenerateMatchesSpec(t *testing.T) {
+	for _, name := range []string{"Yeast", "NELL", "Amazon"} {
+		spec := MustPaperSpec(name, 0)
+		g := spec.Generate()
+		if g.NumNodes() != spec.Nodes {
+			t.Fatalf("%s: nodes %d != %d", name, g.NumNodes(), spec.Nodes)
+		}
+		if e := g.NumEdges(); float64(e) < 0.8*float64(spec.Edges) || e > spec.Edges {
+			t.Fatalf("%s: edges %d vs spec %d", name, e, spec.Edges)
+		}
+		if g.NumLabels() != spec.Labels {
+			t.Fatalf("%s: labels %d != %d", name, g.NumLabels(), spec.Labels)
+		}
+		if g.MaxOutDegree() > spec.MaxOut || g.MaxInDegree() > spec.MaxIn {
+			t.Fatalf("%s: max degrees (%d,%d) exceed spec (%d,%d)",
+				name, g.MaxOutDegree(), g.MaxInDegree(), spec.MaxOut, spec.MaxIn)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := MustPaperSpec("Yeast", 0)
+	a := spec.Generate()
+	b := spec.Generate()
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("generation not deterministic")
+	}
+	same := true
+	a.Edges(func(u, v graph.NodeID) bool {
+		if !b.HasEdge(u, v) {
+			same = false
+			return false
+		}
+		return true
+	})
+	if !same {
+		t.Fatal("edge sets differ across runs with the same seed")
+	}
+}
+
+func TestInjectStructuralErrors(t *testing.T) {
+	g := RandomGraph(5, 100, 300, 4)
+	ge := InjectStructuralErrors(g, 0.2, 9)
+	if ge.NumNodes() != g.NumNodes() {
+		t.Fatal("structural errors must not change the node set")
+	}
+	// Count differing edges (removed + added).
+	diff := 0
+	g.Edges(func(u, v graph.NodeID) bool {
+		if !ge.HasEdge(u, v) {
+			diff++
+		}
+		return true
+	})
+	ge.Edges(func(u, v graph.NodeID) bool {
+		if !g.HasEdge(u, v) {
+			diff++
+		}
+		return true
+	})
+	if diff == 0 {
+		t.Fatal("no edges changed at 20% error level")
+	}
+	if InjectStructuralErrors(g, 0, 9) != g {
+		t.Fatal("zero ratio should return the input graph")
+	}
+}
+
+func TestInjectLabelErrors(t *testing.T) {
+	g := RandomGraph(6, 100, 200, 4)
+	ge := InjectLabelErrors(g, 0.15, 11)
+	changed := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if g.NodeLabelName(graph.NodeID(u)) != ge.NodeLabelName(graph.NodeID(u)) {
+			changed++
+		}
+	}
+	if changed != 15 {
+		t.Fatalf("changed %d labels, want 15", changed)
+	}
+	// Structure untouched.
+	if ge.NumEdges() != g.NumEdges() {
+		t.Fatal("label errors must not change edges")
+	}
+}
+
+func TestDensify(t *testing.T) {
+	g := RandomGraph(7, 50, 100, 3)
+	d := Densify(g, 5, 13)
+	if d.NumEdges() <= g.NumEdges()*3 { // duplicates shrink it below 5x but must grow a lot
+		t.Fatalf("densify too weak: %d -> %d", g.NumEdges(), d.NumEdges())
+	}
+	if Densify(g, 1, 13) != g {
+		t.Fatal("factor 1 should return the input")
+	}
+}
+
+// TestRandomConnectedSubgraph property-checks the query extractor: the
+// requested size and weak connectivity.
+func TestRandomConnectedSubgraph(t *testing.T) {
+	g := MustPaperSpec("Yeast", 0).Generate()
+	check := func(seed int64) bool {
+		size := 3 + int(seed%8)
+		if size < 3 {
+			size = 3
+		}
+		sub := RandomConnectedSubgraph(g, size, seed)
+		if sub == nil {
+			return true // extraction can fail on unlucky starts; allowed
+		}
+		if sub.NumNodes() != size {
+			return false
+		}
+		_, comps := sub.WeakComponents()
+		return comps == 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	f := NewFigure1()
+	if f.P.NumNodes() != 4 || f.G2.NumNodes() != 15 {
+		t.Fatalf("figure1 sizes wrong: %d %d", f.P.NumNodes(), f.G2.NumNodes())
+	}
+	if f.P.NodeLabelName(f.U) != "circle" {
+		t.Fatal("u should be a circle")
+	}
+	for _, v := range f.V {
+		if f.G2.NodeLabelName(v) != "circle" {
+			t.Fatal("candidates should be circles")
+		}
+	}
+}
+
+func TestLabelNamesDiverse(t *testing.T) {
+	spec := MustPaperSpec("NELL", 0)
+	g := spec.Generate()
+	names := map[string]bool{}
+	for l := 0; l < g.NumLabels(); l++ {
+		name := g.LabelName(graph.Label(l))
+		if names[name] {
+			t.Fatalf("duplicate label name %q", name)
+		}
+		names[name] = true
+	}
+}

@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fsim/internal/graph"
+)
+
+// InjectStructuralErrors returns a copy of g in which ratio·|E| edges have
+// been perturbed: half of the error budget removes random existing edges
+// and half inserts random new ones (the paper's "edges added/removed"
+// workload of Fig 5(a)).
+func InjectStructuralErrors(g *graph.Graph, ratio float64, seed int64) *graph.Graph {
+	if ratio <= 0 {
+		return g
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := g.Builder()
+	budget := int(ratio * float64(g.NumEdges()))
+	removals := budget / 2
+	additions := budget - removals
+
+	edges := b.Edges()
+	// Remove: pick random edge-list positions (swap-delete keeps O(1)).
+	for i := 0; i < removals && len(edges) > 0; i++ {
+		j := rng.Intn(len(edges))
+		edges[j] = edges[len(edges)-1]
+		edges = edges[:len(edges)-1]
+	}
+	trimmed := graph.NewBuilder()
+	for u := 0; u < g.NumNodes(); u++ {
+		trimmed.AddNode(g.NodeLabelName(graph.NodeID(u)))
+	}
+	for _, e := range edges {
+		trimmed.MustAddEdge(e[0], e[1])
+	}
+	n := g.NumNodes()
+	for i := 0; i < additions; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		trimmed.MustAddEdge(u, v)
+	}
+	return trimmed.Build()
+}
+
+// InjectLabelErrors returns a copy of g in which ratio·|V| node labels are
+// corrupted: replaced by a reserved "missing" label (the paper's "certain
+// labels missing" workload of Fig 5(b)).
+func InjectLabelErrors(g *graph.Graph, ratio float64, seed int64) *graph.Graph {
+	if ratio <= 0 {
+		return g
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := g.Builder()
+	n := g.NumNodes()
+	count := int(ratio * float64(n))
+	perm := rng.Perm(n)
+	for i := 0; i < count && i < n; i++ {
+		b.SetLabel(graph.NodeID(perm[i]), fmt.Sprintf("__missing%d", rng.Intn(4)))
+	}
+	return b.Build()
+}
+
+// Densify returns a copy of g with (factor−1)·|E| extra uniform random
+// edges, multiplying the density as in Fig 9(b). factor ≤ 1 returns g.
+func Densify(g *graph.Graph, factor int, seed int64) *graph.Graph {
+	if factor <= 1 {
+		return g
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := g.Builder()
+	n := g.NumNodes()
+	extra := (factor - 1) * g.NumEdges()
+	for i := 0; i < extra; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		b.MustAddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// RandomConnectedSubgraph extracts a weakly-connected induced subgraph of
+// the requested size by random expansion from a random start node; it
+// serves as the query generator of the pattern-matching case study
+// ("queries are extracted from the data graph", §5.4). Returns nil when g
+// has no node with a neighbor.
+func RandomConnectedSubgraph(g *graph.Graph, size int, seed int64) *graph.Subgraph {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	if n == 0 || size <= 0 {
+		return nil
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		start := graph.NodeID(rng.Intn(n))
+		chosen := map[graph.NodeID]bool{start: true}
+		frontier := []graph.NodeID{start}
+		for len(chosen) < size && len(frontier) > 0 {
+			// Pick a random frontier node and a random (undirected) neighbor.
+			fi := rng.Intn(len(frontier))
+			u := frontier[fi]
+			var cands []graph.NodeID
+			for _, v := range g.Out(u) {
+				if !chosen[v] {
+					cands = append(cands, v)
+				}
+			}
+			for _, v := range g.In(u) {
+				if !chosen[v] {
+					cands = append(cands, v)
+				}
+			}
+			if len(cands) == 0 {
+				frontier[fi] = frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+				continue
+			}
+			v := cands[rng.Intn(len(cands))]
+			chosen[v] = true
+			frontier = append(frontier, v)
+		}
+		if len(chosen) == size {
+			nodes := make([]graph.NodeID, 0, size)
+			for v := range chosen {
+				nodes = append(nodes, v)
+			}
+			// Deterministic order for reproducibility.
+			sortNodeIDs(nodes)
+			return g.Induced(nodes)
+		}
+	}
+	return nil
+}
+
+func sortNodeIDs(ids []graph.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package dataset
+
+import "fsim/internal/graph"
+
+// Figure1 reconstructs the running example of the paper's Figure 1: a small
+// graph P containing node u, and a graph G2 containing candidates v1..v4,
+// chosen so that the ✓/× pattern of Table 2 holds exactly:
+//
+//	           s   dp  b   bj
+//	(u, v1)    ×   ×   ×   ×     v1 lacks a pentagon neighbor
+//	(u, v2)    ✓   ×   ✓   ×     v2 has one hexagon for u's two
+//	(u, v3)    ✓   ✓   ×   ×     v3 has an extra square neighbor
+//	(u, v4)    ✓   ✓   ✓   ✓     v4 mirrors u exactly
+//
+// Node labels are the shape names of the figure. The exact figure topology
+// is not recoverable from the paper PDF; this reconstruction preserves
+// every relation the paper states (Examples 1 and 3) and is what Table 2's
+// reproduction runs on.
+type Figure1 struct {
+	P, G2 *graph.Graph
+	// U is node u in P; V[i] is node v(i+1) in G2.
+	U graph.NodeID
+	V [4]graph.NodeID
+}
+
+// NewFigure1 builds the example graphs.
+func NewFigure1() *Figure1 {
+	f := &Figure1{}
+
+	p := graph.NewBuilder()
+	u := p.AddNode("circle")
+	h1 := p.AddNode("hexagon")
+	h2 := p.AddNode("hexagon")
+	pe := p.AddNode("pentagon")
+	p.MustAddEdge(u, h1)
+	p.MustAddEdge(u, h2)
+	p.MustAddEdge(u, pe)
+	f.P = p.Build()
+	f.U = u
+
+	g := graph.NewBuilder()
+	// v1: two hexagons, no pentagon — s fails.
+	v1 := g.AddNode("circle")
+	g.MustAddEdge(v1, g.AddNode("hexagon"))
+	g.MustAddEdge(v1, g.AddNode("hexagon"))
+	// v2: one hexagon (simulates both of u's hexagons) and a pentagon —
+	// s and b hold; dp fails (no injective mapping of two hexagons).
+	v2 := g.AddNode("circle")
+	g.MustAddEdge(v2, g.AddNode("hexagon"))
+	g.MustAddEdge(v2, g.AddNode("pentagon"))
+	// v3: two hexagons, a pentagon and an extra square — s and dp hold;
+	// b fails (the square simulates no neighbor of u).
+	v3 := g.AddNode("circle")
+	g.MustAddEdge(v3, g.AddNode("hexagon"))
+	g.MustAddEdge(v3, g.AddNode("hexagon"))
+	g.MustAddEdge(v3, g.AddNode("pentagon"))
+	g.MustAddEdge(v3, g.AddNode("square"))
+	// v4: exact mirror of u — all four variants hold.
+	v4 := g.AddNode("circle")
+	g.MustAddEdge(v4, g.AddNode("hexagon"))
+	g.MustAddEdge(v4, g.AddNode("hexagon"))
+	g.MustAddEdge(v4, g.AddNode("pentagon"))
+	f.G2 = g.Build()
+	f.V = [4]graph.NodeID{v1, v2, v3, v4}
+	return f
+}

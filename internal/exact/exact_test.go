@@ -1,0 +1,328 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fsim/internal/graph"
+)
+
+func randomGraph(seed int64, n, m, labels int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('a' + rng.Intn(labels))))
+	}
+	for i := 0; i < m; i++ {
+		b.MustAddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// figure1 rebuilds the paper's example (duplicated from internal/dataset to
+// avoid an import cycle in tests).
+func figure1() (p, g2 *graph.Graph, u graph.NodeID, vs [4]graph.NodeID) {
+	pb := graph.NewBuilder()
+	u = pb.AddNode("circle")
+	pb.MustAddEdge(u, pb.AddNode("hexagon"))
+	pb.MustAddEdge(u, pb.AddNode("hexagon"))
+	pb.MustAddEdge(u, pb.AddNode("pentagon"))
+	p = pb.Build()
+
+	gb := graph.NewBuilder()
+	v1 := gb.AddNode("circle")
+	gb.MustAddEdge(v1, gb.AddNode("hexagon"))
+	gb.MustAddEdge(v1, gb.AddNode("hexagon"))
+	v2 := gb.AddNode("circle")
+	gb.MustAddEdge(v2, gb.AddNode("hexagon"))
+	gb.MustAddEdge(v2, gb.AddNode("pentagon"))
+	v3 := gb.AddNode("circle")
+	gb.MustAddEdge(v3, gb.AddNode("hexagon"))
+	gb.MustAddEdge(v3, gb.AddNode("hexagon"))
+	gb.MustAddEdge(v3, gb.AddNode("pentagon"))
+	gb.MustAddEdge(v3, gb.AddNode("square"))
+	v4 := gb.AddNode("circle")
+	gb.MustAddEdge(v4, gb.AddNode("hexagon"))
+	gb.MustAddEdge(v4, gb.AddNode("hexagon"))
+	gb.MustAddEdge(v4, gb.AddNode("pentagon"))
+	g2 = gb.Build()
+	vs = [4]graph.NodeID{v1, v2, v3, v4}
+	return
+}
+
+// TestFigure1Verdicts pins the exact verdicts of the paper's Examples 1
+// and 3 (the ✓/× column pattern of Table 2).
+func TestFigure1Verdicts(t *testing.T) {
+	p, g2, u, vs := figure1()
+	want := map[Variant][4]bool{
+		S:  {false, true, true, true},
+		DP: {false, false, true, true},
+		B:  {false, true, false, true},
+		BJ: {false, false, false, true},
+	}
+	for variant, row := range want {
+		rel := MaximalSimulation(p, g2, variant)
+		for i, expect := range row {
+			if got := rel.Contains(int(u), int(vs[i])); got != expect {
+				t.Errorf("%v-simulation (u,v%d): got %v want %v", variant, i+1, got, expect)
+			}
+		}
+	}
+}
+
+// TestStrictnessHierarchy property-checks Figure 3(b): bj ⊆ dp ⊆ s and
+// bj ⊆ b ⊆ s for the maximal relations of random graph pairs.
+func TestStrictnessHierarchy(t *testing.T) {
+	check := func(seed int64) bool {
+		g1 := randomGraph(seed, 10, 20, 2)
+		g2 := randomGraph(seed+1000, 12, 24, 2)
+		rs := MaximalSimulation(g1, g2, S)
+		rdp := MaximalSimulation(g1, g2, DP)
+		rb := MaximalSimulation(g1, g2, B)
+		rbj := MaximalSimulation(g1, g2, BJ)
+		for u := 0; u < g1.NumNodes(); u++ {
+			for v := 0; v < g2.NumNodes(); v++ {
+				if rbj.Contains(u, v) && !(rdp.Contains(u, v) && rb.Contains(u, v)) {
+					return false
+				}
+				if rdp.Contains(u, v) && !rs.Contains(u, v) {
+					return false
+				}
+				if rb.Contains(u, v) && !rs.Contains(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConverseInvariance property-checks Remark 1: for b and bj, u ⇝χ v
+// implies v ⇝χ u (on the maximal relations with swapped graphs).
+func TestConverseInvariance(t *testing.T) {
+	check := func(seed int64) bool {
+		g1 := randomGraph(seed, 9, 18, 2)
+		g2 := randomGraph(seed+500, 9, 18, 2)
+		for _, variant := range []Variant{B, BJ} {
+			fwd := MaximalSimulation(g1, g2, variant)
+			bwd := MaximalSimulation(g2, g1, variant)
+			for u := 0; u < g1.NumNodes(); u++ {
+				for v := 0; v < g2.NumNodes(); v++ {
+					if fwd.Contains(u, v) != bwd.Contains(v, u) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulationIsFixpoint verifies that the maximal relation is itself a
+// χ-simulation: re-checking every pair's condition changes nothing.
+func TestSimulationIsFixpoint(t *testing.T) {
+	g1 := randomGraph(3, 12, 25, 2)
+	g2 := randomGraph(4, 12, 25, 2)
+	for _, variant := range Variants {
+		rel := MaximalSimulation(g1, g2, variant)
+		cond := conditionFor(variant)
+		for u := 0; u < g1.NumNodes(); u++ {
+			rel.Row(u, func(v int) {
+				if !cond(g1, g2, rel, u, v) {
+					t.Fatalf("variant %v: pair (%d,%d) violates its own condition", variant, u, v)
+				}
+			})
+		}
+	}
+}
+
+// TestIdentityIsSimulation checks reflexivity of every variant on a single
+// graph: (u, u) must always be in the maximal relation of (g, g).
+func TestIdentityIsSimulation(t *testing.T) {
+	g := randomGraph(7, 14, 30, 3)
+	for _, variant := range Variants {
+		rel := MaximalSimulation(g, g, variant)
+		for u := 0; u < g.NumNodes(); u++ {
+			if !rel.Contains(u, u) {
+				t.Fatalf("variant %v: (u,u) missing for u=%d", variant, u)
+			}
+		}
+	}
+}
+
+func TestVariantParsing(t *testing.T) {
+	for _, v := range Variants {
+		got, err := ParseVariant(v.String())
+		if err != nil || got != v {
+			t.Fatalf("round trip of %v failed: %v %v", v, got, err)
+		}
+	}
+	if _, err := ParseVariant("zz"); err == nil {
+		t.Fatal("expected error for unknown variant")
+	}
+	// Figure 3(a) properties.
+	if S.INMapping() || B.INMapping() || !DP.INMapping() || !BJ.INMapping() {
+		t.Fatal("IN-mapping flags wrong")
+	}
+	if S.ConverseInvariant() || DP.ConverseInvariant() || !B.ConverseInvariant() || !BJ.ConverseInvariant() {
+		t.Fatal("converse-invariant flags wrong")
+	}
+}
+
+func TestRelationOps(t *testing.T) {
+	r := NewRelation(3, 70) // spans multiple words
+	r.Set(0, 1)
+	r.Set(0, 69)
+	r.Set(2, 64)
+	if !r.Contains(0, 69) || r.Contains(1, 0) {
+		t.Fatal("bitset wrong")
+	}
+	if r.Count() != 3 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	inv := r.Inverse()
+	if !inv.Contains(69, 0) || !inv.Contains(64, 2) {
+		t.Fatal("inverse wrong")
+	}
+	c := r.Clone()
+	if !c.Equal(r) {
+		t.Fatal("clone not equal")
+	}
+	c.Clear(0, 1)
+	if c.Equal(r) || c.Count() != 2 {
+		t.Fatal("clear failed")
+	}
+	var pairs [][2]int
+	r.Row(0, func(v int) { pairs = append(pairs, [2]int{0, v}) })
+	if len(pairs) != 2 || pairs[0][1] != 1 || pairs[1][1] != 69 {
+		t.Fatalf("Row iteration wrong: %v", pairs)
+	}
+	if got := r.Pairs(); len(got) != 3 {
+		t.Fatalf("Pairs = %v", got)
+	}
+	if r.RowEmpty(1) == false || r.RowEmpty(0) == true {
+		t.Fatal("RowEmpty wrong")
+	}
+}
+
+// TestStrongSimulationRecovers verifies that a query extracted verbatim
+// from the data graph is strongly matched, and the ground-truth positions
+// appear in the match sets.
+func TestStrongSimulationRecovers(t *testing.T) {
+	g := randomGraph(11, 40, 90, 3)
+	// Take a small connected region as the query.
+	sub := g.Ball(0, 1)
+	if sub.NumNodes() < 2 {
+		t.Skip("degenerate ball")
+	}
+	matches := StrongSimulation(sub.Graph, g)
+	if len(matches) == 0 {
+		t.Fatal("no strong simulation match for an exact sub-pattern")
+	}
+	found := false
+	for _, m := range matches {
+		ok := true
+		for q, set := range m.MatchSets {
+			truth := sub.ToParent[q]
+			has := false
+			for _, d := range set {
+				if d == truth {
+					has = true
+					break
+				}
+			}
+			if !has {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no match contains the ground-truth embedding")
+	}
+}
+
+// TestStrongSimulationRejects verifies that a query with a label absent
+// from the data graph has no strong match.
+func TestStrongSimulationRejects(t *testing.T) {
+	g := randomGraph(13, 20, 40, 2)
+	qb := graph.NewBuilder()
+	x := qb.AddNode("nonexistent-label")
+	y := qb.AddNode("a")
+	qb.MustAddEdge(x, y)
+	if got := StrongSimulation(qb.Build(), g); len(got) != 0 {
+		t.Fatalf("expected no matches, got %d", len(got))
+	}
+}
+
+// TestKBisimulationBasics pins signature semantics: k=0 groups by label;
+// deeper k refines; refinement is monotone (blocks only split).
+func TestKBisimulationBasics(t *testing.T) {
+	g := randomGraph(17, 20, 45, 2)
+	prev := KBisimulation(g, 0)
+	// k=0: same color iff same label.
+	for u := 0; u < g.NumNodes(); u++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			if (prev[u] == prev[v]) != (g.Label(graph.NodeID(u)) == g.Label(graph.NodeID(v))) {
+				t.Fatal("k=0 should partition by label")
+			}
+		}
+	}
+	for k := 1; k <= 4; k++ {
+		cur := KBisimulation(g, k)
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				if cur[u] == cur[v] && prev[u] != prev[v] {
+					t.Fatalf("refinement merged blocks at k=%d", k)
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestWLIsomorphicGraphs verifies that two relabeled copies of one graph
+// get fully matched by the WL test, and that adding an edge breaks some
+// node's color match.
+func TestWLIsomorphicGraphs(t *testing.T) {
+	g := randomGraph(19, 15, 30, 2)
+	wl := WL(g, g, g.NumNodes()*2+2)
+	if !wl.Converged {
+		t.Fatal("WL did not converge")
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		if !wl.Same(graph.NodeID(u), graph.NodeID(u)) {
+			t.Fatalf("WL separated node %d from itself", u)
+		}
+	}
+}
+
+// TestSignaturePartition sanity-checks the block index.
+func TestSignaturePartition(t *testing.T) {
+	g := randomGraph(23, 12, 25, 2)
+	colors := KBisimulation(g, 2)
+	blocks := SignaturePartition(colors)
+	total := 0
+	for c, nodes := range blocks {
+		total += len(nodes)
+		for _, u := range nodes {
+			if colors[u] != c {
+				t.Fatal("block membership wrong")
+			}
+		}
+	}
+	if total != g.NumNodes() {
+		t.Fatal("blocks do not cover all nodes")
+	}
+}

@@ -1,0 +1,105 @@
+package exact
+
+import "math/bits"
+
+// Relation is a binary relation R ⊆ V1 × V2 stored as a row-major bitset.
+type Relation struct {
+	n1, n2 int
+	stride int // words per row
+	words  []uint64
+}
+
+// NewRelation returns the empty relation over V1 × V2.
+func NewRelation(n1, n2 int) *Relation {
+	stride := (n2 + 63) / 64
+	return &Relation{n1: n1, n2: n2, stride: stride, words: make([]uint64, n1*stride)}
+}
+
+// Dims returns (|V1|, |V2|).
+func (r *Relation) Dims() (int, int) { return r.n1, r.n2 }
+
+// Contains reports whether (u, v) ∈ R.
+func (r *Relation) Contains(u, v int) bool {
+	return r.words[u*r.stride+v/64]&(1<<(uint(v)%64)) != 0
+}
+
+// Set inserts (u, v).
+func (r *Relation) Set(u, v int) {
+	r.words[u*r.stride+v/64] |= 1 << (uint(v) % 64)
+}
+
+// Clear removes (u, v).
+func (r *Relation) Clear(u, v int) {
+	r.words[u*r.stride+v/64] &^= 1 << (uint(v) % 64)
+}
+
+// Count returns |R|.
+func (r *Relation) Count() int {
+	n := 0
+	for _, w := range r.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// RowEmpty reports whether node u is related to no node of V2.
+func (r *Relation) RowEmpty(u int) bool {
+	row := r.words[u*r.stride : (u+1)*r.stride]
+	for _, w := range row {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Row calls fn for each v with (u, v) ∈ R, in increasing order of v.
+func (r *Relation) Row(u int, fn func(v int)) {
+	base := u * r.stride
+	for wi := 0; wi < r.stride; wi++ {
+		w := r.words[base+wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Pairs returns all (u, v) ∈ R in row-major order.
+func (r *Relation) Pairs() [][2]int {
+	var out [][2]int
+	for u := 0; u < r.n1; u++ {
+		r.Row(u, func(v int) { out = append(out, [2]int{u, v}) })
+	}
+	return out
+}
+
+// Inverse returns R⁻¹ = {(v, u) | (u, v) ∈ R}.
+func (r *Relation) Inverse() *Relation {
+	inv := NewRelation(r.n2, r.n1)
+	for u := 0; u < r.n1; u++ {
+		r.Row(u, func(v int) { inv.Set(v, u) })
+	}
+	return inv
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	c := *r
+	c.words = append([]uint64(nil), r.words...)
+	return &c
+}
+
+// Equal reports element-wise equality with other.
+func (r *Relation) Equal(other *Relation) bool {
+	if r.n1 != other.n1 || r.n2 != other.n2 {
+		return false
+	}
+	for i, w := range r.words {
+		if other.words[i] != w {
+			return false
+		}
+	}
+	return true
+}

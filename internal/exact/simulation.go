@@ -1,0 +1,160 @@
+package exact
+
+import (
+	"fsim/internal/graph"
+	"fsim/internal/matching"
+)
+
+// MaximalSimulation computes the maximal χ-simulation relation between g1
+// and g2: the union of all χ-simulations, so that u ⇝χ v iff (u, v) is in
+// the result. Labels are compared by name, so the two graphs may use
+// independent label vocabularies (and g1 == g2 is allowed, per the paper).
+//
+// The computation is the standard fixpoint: R₀ = {(u,v) | ℓ1(u) = ℓ2(v)};
+// repeatedly delete pairs whose neighborhoods violate the variant's
+// condition until no deletion applies. Termination is guaranteed because R
+// only shrinks; the result is the greatest fixpoint, which is itself a
+// χ-simulation (or empty).
+func MaximalSimulation(g1, g2 *graph.Graph, variant Variant) *Relation {
+	n1, n2 := g1.NumNodes(), g2.NumNodes()
+	r := NewRelation(n1, n2)
+
+	// Label-compatible initialization via the shared name space.
+	l2byName := make(map[string][]int)
+	for v := 0; v < n2; v++ {
+		name := g2.NodeLabelName(graph.NodeID(v))
+		l2byName[name] = append(l2byName[name], v)
+	}
+	for u := 0; u < n1; u++ {
+		for _, v := range l2byName[g1.NodeLabelName(graph.NodeID(u))] {
+			r.Set(u, v)
+		}
+	}
+
+	check := conditionFor(variant)
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n1; u++ {
+			var drop []int
+			r.Row(u, func(v int) {
+				if !check(g1, g2, r, u, v) {
+					drop = append(drop, v)
+				}
+			})
+			for _, v := range drop {
+				r.Clear(u, v)
+				changed = true
+			}
+		}
+	}
+	return r
+}
+
+// Simulated reports u ⇝χ v by computing the maximal relation. Prefer
+// MaximalSimulation when querying many pairs.
+func Simulated(g1, g2 *graph.Graph, u, v graph.NodeID, variant Variant) bool {
+	return MaximalSimulation(g1, g2, variant).Contains(int(u), int(v))
+}
+
+// condition decides whether the pair (u, v) is locally consistent with R
+// under a variant's neighbor rules.
+type condition func(g1, g2 *graph.Graph, r *Relation, u, v int) bool
+
+func conditionFor(variant Variant) condition {
+	switch variant {
+	case S:
+		return condS
+	case DP:
+		return condDP
+	case B:
+		return condB
+	case BJ:
+		return condBJ
+	}
+	panic("exact: unknown variant")
+}
+
+// existsForAll checks Definition 1's clause: every x ∈ s1 has some y ∈ s2
+// with (x, y) ∈ rel (rel oriented as given by lookup).
+func existsForAll(s1, s2 []graph.NodeID, contains func(x, y int) bool) bool {
+	for _, x := range s1 {
+		found := false
+		for _, y := range s2 {
+			if contains(int(x), int(y)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func condS(g1, g2 *graph.Graph, r *Relation, u, v int) bool {
+	fwd := r.Contains
+	return existsForAll(g1.Out(graph.NodeID(u)), g2.Out(graph.NodeID(v)), fwd) &&
+		existsForAll(g1.In(graph.NodeID(u)), g2.In(graph.NodeID(v)), fwd)
+}
+
+// injective checks Definition 2's dp clause: an injective λ : s1 → s2 with
+// (x, λ(x)) ∈ R for all x — i.e. a matching saturating s1.
+func injective(s1, s2 []graph.NodeID, r *Relation) bool {
+	if len(s1) == 0 {
+		return true
+	}
+	if len(s1) > len(s2) {
+		return false
+	}
+	adj := make([][]int, len(s1))
+	for i, x := range s1 {
+		for j, y := range s2 {
+			if r.Contains(int(x), int(y)) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return matching.HasSaturatingMatching(adj, len(s2))
+}
+
+func condDP(g1, g2 *graph.Graph, r *Relation, u, v int) bool {
+	return injective(g1.Out(graph.NodeID(u)), g2.Out(graph.NodeID(v)), r) &&
+		injective(g1.In(graph.NodeID(u)), g2.In(graph.NodeID(v)), r)
+}
+
+func condB(g1, g2 *graph.Graph, r *Relation, u, v int) bool {
+	if !condS(g1, g2, r, u, v) {
+		return false
+	}
+	// Converse clause of Definition 2 (b): every neighbor of v must be
+	// "hit": ∀v' ∈ N(v) ∃u' ∈ N(u) with (u', v') ∈ R.
+	rev := func(y, x int) bool { return r.Contains(x, y) }
+	return existsForAll(g2.Out(graph.NodeID(v)), g1.Out(graph.NodeID(u)), rev) &&
+		existsForAll(g2.In(graph.NodeID(v)), g1.In(graph.NodeID(u)), rev)
+}
+
+// bijective checks Definition 3: a perfect matching between s1 and s2
+// within R.
+func bijective(s1, s2 []graph.NodeID, r *Relation) bool {
+	if len(s1) != len(s2) {
+		return false
+	}
+	if len(s1) == 0 {
+		return true
+	}
+	adj := make([][]int, len(s1))
+	for i, x := range s1 {
+		for j, y := range s2 {
+			if r.Contains(int(x), int(y)) {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return matching.HasPerfectMatching(adj, len(s2))
+}
+
+func condBJ(g1, g2 *graph.Graph, r *Relation, u, v int) bool {
+	return bijective(g1.Out(graph.NodeID(u)), g2.Out(graph.NodeID(v)), r) &&
+		bijective(g1.In(graph.NodeID(u)), g2.In(graph.NodeID(v)), r)
+}

@@ -1,0 +1,89 @@
+package exact
+
+import "fsim/internal/graph"
+
+// StrongMatch is the result of strong simulation at one candidate center:
+// the ball G[center, δQ] together with the maximal simulation relation from
+// the query into the ball, translated back to data-graph node ids.
+type StrongMatch struct {
+	Center graph.NodeID
+	// MatchSets[q] lists the data-graph nodes that simulate query node q.
+	MatchSets [][]graph.NodeID
+}
+
+// Nodes returns the union of matched data nodes (the match graph's nodes).
+func (m *StrongMatch) Nodes() []graph.NodeID {
+	seen := map[graph.NodeID]bool{}
+	var out []graph.NodeID
+	for _, set := range m.MatchSets {
+		for _, v := range set {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// StrongSimulation computes all strong-simulation matches of query q in
+// data graph g (Ma et al. 2011, as summarized in the paper §2): a match
+// exists at center v when the ball G[v, δQ] admits a simulation relation R
+// from q that (1) matches every query node and (2) contains v in its image.
+//
+// δQ is the undirected diameter of q. The returned slice holds one
+// StrongMatch per qualifying center.
+func StrongSimulation(q, g *graph.Graph) []*StrongMatch {
+	diam := q.Diameter()
+	var out []*StrongMatch
+	for _, c := range strongCandidates(q, g) {
+		m := StrongSimulationAt(q, g, c, diam)
+		if m != nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// strongCandidates prunes the center search: a center must be in the image
+// of the global maximal simulation from q into g — balls only shrink the
+// relation, so centers outside the global image can never qualify.
+func strongCandidates(q, g *graph.Graph) []graph.NodeID {
+	rel := MaximalSimulation(q, g, S)
+	inImage := make([]bool, g.NumNodes())
+	for u := 0; u < q.NumNodes(); u++ {
+		rel.Row(u, func(v int) { inImage[v] = true })
+	}
+	var out []graph.NodeID
+	for v, ok := range inImage {
+		if ok {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// StrongSimulationAt tests strong simulation at a single candidate center
+// with a precomputed query diameter; it returns nil when no match exists.
+func StrongSimulationAt(q, g *graph.Graph, center graph.NodeID, diam int) *StrongMatch {
+	ball := g.Ball(center, diam)
+	r := MaximalSimulation(q, ball.Graph, S)
+	localCenter := ball.FromParent[center]
+	centerInImage := false
+	sets := make([][]graph.NodeID, q.NumNodes())
+	for u := 0; u < q.NumNodes(); u++ {
+		if r.RowEmpty(u) {
+			return nil // some query node is unmatched
+		}
+		r.Row(u, func(v int) {
+			sets[u] = append(sets[u], ball.ToParent[v])
+			if graph.NodeID(v) == localCenter {
+				centerInImage = true
+			}
+		})
+	}
+	if !centerInImage {
+		return nil
+	}
+	return &StrongMatch{Center: center, MatchSets: sets}
+}

@@ -1,0 +1,49 @@
+package exact
+
+import (
+	"testing"
+
+	"fsim/internal/graph"
+)
+
+// TestStrongCandidatesSound verifies the center-pruning optimization:
+// every center that qualifies without pruning is inside the pruned
+// candidate set (pruning must be sound, never dropping true matches).
+func TestStrongCandidatesSound(t *testing.T) {
+	g := randomGraph(29, 30, 70, 2)
+	sub := g.Ball(2, 1)
+	if sub.NumNodes() < 2 {
+		t.Skip("degenerate ball")
+	}
+	q := sub.Graph
+	diam := q.Diameter()
+
+	cands := map[graph.NodeID]bool{}
+	for _, c := range strongCandidates(q, g) {
+		cands[c] = true
+	}
+	// Brute force: test every center without pruning.
+	for c := 0; c < g.NumNodes(); c++ {
+		m := StrongSimulationAt(q, g, graph.NodeID(c), diam)
+		if m != nil && !cands[graph.NodeID(c)] {
+			t.Fatalf("pruning dropped qualifying center %d", c)
+		}
+	}
+}
+
+// TestStrongMatchNodes verifies StrongMatch.Nodes deduplicates across the
+// per-query-node match sets.
+func TestStrongMatchNodes(t *testing.T) {
+	m := &StrongMatch{MatchSets: [][]graph.NodeID{{1, 2}, {2, 3}, {3}}}
+	nodes := m.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("Nodes() = %v, want 3 distinct", nodes)
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, n := range nodes {
+		if seen[n] {
+			t.Fatal("duplicate in Nodes()")
+		}
+		seen[n] = true
+	}
+}

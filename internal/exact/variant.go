@@ -1,0 +1,74 @@
+// Package exact implements the "yes-or-no" χ-simulation relations of the
+// paper (§2): simple simulation (s), degree-preserving simulation (dp),
+// bisimulation (b) and the newly-introduced bijective simulation (bj),
+// together with strong simulation (Ma et al.), k-bisimulation signatures and
+// the Weisfeiler-Lehman test the paper relates bj-simulation to (§4.3).
+//
+// All relations are computed as the maximal fixpoint: start from the
+// label-compatible pair set and repeatedly delete pairs violating the
+// variant's neighbor conditions until stable. The result is the unique
+// maximal χ-simulation relation, so u ⇝χ v iff (u, v) survives.
+package exact
+
+import "fmt"
+
+// Variant identifies a χ-simulation variant (paper Definition 2 & 3).
+type Variant int
+
+const (
+	// S is simple simulation: every neighbor of u must be simulated by
+	// some neighbor of v (out and in).
+	S Variant = iota
+	// DP is degree-preserving simulation: additionally the neighbor
+	// mapping must be injective (IN-mapping property).
+	DP
+	// B is bisimulation: additionally the converse relation must be a
+	// simulation (converse-invariant property).
+	B
+	// BJ is bijective simulation (this paper's new variant): the neighbor
+	// mapping must be bijective; it has both IN-mapping and converse
+	// invariance.
+	BJ
+)
+
+// Variants lists all four χ-simulation variants in paper order.
+var Variants = []Variant{S, DP, B, BJ}
+
+// String returns the paper's subscript for the variant.
+func (v Variant) String() string {
+	switch v {
+	case S:
+		return "s"
+	case DP:
+		return "dp"
+	case B:
+		return "b"
+	case BJ:
+		return "bj"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// ParseVariant maps the paper's subscripts to a Variant.
+func ParseVariant(s string) (Variant, error) {
+	switch s {
+	case "s", "sim", "simple":
+		return S, nil
+	case "dp", "degree-preserving":
+		return DP, nil
+	case "b", "bi", "bisimulation":
+		return B, nil
+	case "bj", "bijective":
+		return BJ, nil
+	}
+	return 0, fmt.Errorf("exact: unknown simulation variant %q (want s, dp, b, or bj)", s)
+}
+
+// INMapping reports whether the variant requires injective neighbor
+// mapping (Figure 3(a), column "IN-mapping").
+func (v Variant) INMapping() bool { return v == DP || v == BJ }
+
+// ConverseInvariant reports whether u ⇝χ v implies v ⇝χ u (Figure 3(a),
+// column "Converse Invariant"). Symmetric variants are usable as node
+// similarity measures (property P3).
+func (v Variant) ConverseInvariant() bool { return v == B || v == BJ }

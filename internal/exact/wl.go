@@ -1,0 +1,113 @@
+package exact
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"fsim/internal/graph"
+)
+
+// WLResult carries the outcome of a joint Weisfeiler-Lehman refinement over
+// two graphs: final colors for each graph's nodes (comparable across the
+// two graphs) and whether the refinement reached a fixpoint within the
+// iteration budget.
+type WLResult struct {
+	Colors1   []Color
+	Colors2   []Color
+	Rounds    int
+	Converged bool
+}
+
+// Same reports whether the WL test assigns u (in g1) and v (in g2) the same
+// final label s(u) = s(v) — the condition Theorem 5 proves equivalent to
+// FSimbj(u, v) = 1 on undirected graphs.
+func (r *WLResult) Same(u, v graph.NodeID) bool {
+	return r.Colors1[u] == r.Colors2[v]
+}
+
+// WL runs the 1-dimensional Weisfeiler-Lehman color refinement jointly on
+// two graphs, using the undirected neighborhood (N+ ∪ N− as a multiset) of
+// each node, matching the paper's §4.3 adaptation. Refinement stops when
+// the color partition over the disjoint union is stable or after maxIter
+// rounds (the classical test converges in at most |V| rounds; pass
+// n1+n2 to guarantee convergence).
+func WL(g1, g2 *graph.Graph, maxIter int) *WLResult {
+	n1, n2 := g1.NumNodes(), g2.NumNodes()
+	colors := make([]Color, n1+n2)
+	// Initial colors: shared label-name vocabulary.
+	vocab := map[string]Color{}
+	intern := func(name string) Color {
+		if c, ok := vocab[name]; ok {
+			return c
+		}
+		c := Color(len(vocab))
+		vocab[name] = c
+		return c
+	}
+	for u := 0; u < n1; u++ {
+		colors[u] = intern(g1.NodeLabelName(graph.NodeID(u)))
+	}
+	for v := 0; v < n2; v++ {
+		colors[n1+v] = intern(g2.NodeLabelName(graph.NodeID(v)))
+	}
+
+	neighborColors := func(buf []int32, g *graph.Graph, u graph.NodeID, base int) []int32 {
+		for _, w := range g.Out(u) {
+			buf = append(buf, int32(colors[base+int(w)]))
+		}
+		for _, w := range g.In(u) {
+			buf = append(buf, int32(colors[base+int(w)]))
+		}
+		return buf
+	}
+
+	distinct := countDistinct(colors)
+	res := &WLResult{}
+	buf := make([]byte, 0, 256)
+	neigh := make([]int32, 0, 64)
+	for round := 0; round < maxIter; round++ {
+		index := make(map[string]Color)
+		next := make([]Color, n1+n2)
+		assign := func(i int, g *graph.Graph, u graph.NodeID, base int) {
+			neigh = neighborColors(neigh[:0], g, u, base)
+			sort.Slice(neigh, func(a, b int) bool { return neigh[a] < neigh[b] })
+			buf = buf[:0]
+			buf = binary.AppendVarint(buf, int64(colors[i]))
+			for _, c := range neigh {
+				buf = binary.AppendVarint(buf, int64(c))
+			}
+			key := string(buf)
+			id, ok := index[key]
+			if !ok {
+				id = Color(len(index))
+				index[key] = id
+			}
+			next[i] = id
+		}
+		for u := 0; u < n1; u++ {
+			assign(u, g1, graph.NodeID(u), 0)
+		}
+		for v := 0; v < n2; v++ {
+			assign(n1+v, g2, graph.NodeID(v), n1)
+		}
+		colors = next
+		res.Rounds = round + 1
+		if d := countDistinct(colors); d == distinct {
+			res.Converged = true
+			break
+		} else {
+			distinct = d
+		}
+	}
+	res.Colors1 = colors[:n1]
+	res.Colors2 = colors[n1:]
+	return res
+}
+
+func countDistinct(colors []Color) int {
+	seen := make(map[Color]struct{}, len(colors))
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fsim/internal/core"
+)
+
+// Fig4 reproduces the paper's Figure 4: sensitivity to the label-constraint
+// threshold θ (panel a: coefficient of FSimχ{θ} against the θ=0 baseline,
+// decreasing with θ but staying high) and to the weighting parameter
+// w* = 1−w⁺−w⁻ (panel b: coefficient of FSimχ vs FSimχ{θ=1}, increasing
+// toward 1 as w* grows).
+func Fig4(cfg Config) error {
+	g := nellGraph(cfg)
+	pairs := samplePairs(g.NumNodes(), g.NumNodes(), 200000, 11+cfg.Seed)
+	w := cfg.out()
+
+	thetas := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	if cfg.Quick {
+		thetas = []float64{0, 0.5, 1.0}
+	}
+
+	fmt.Fprintln(w, "(a) Pearson coefficient vs θ (baseline θ=0, w+=w-=0.4)")
+	ta := &table{headers: []string{"theta", "FSim_s", "FSim_dp", "FSim_b", "FSim_bj"}}
+	baselines := map[string]*core.Result{}
+	for _, variant := range variantOrder {
+		res, err := computeSelf(g, sensitivityOptions(variant, 0, cfg.Threads))
+		if err != nil {
+			return err
+		}
+		baselines[variant.String()] = res
+	}
+	for _, theta := range thetas {
+		cells := []string{f2(theta)}
+		for _, variant := range variantOrder {
+			res, err := computeSelf(g, sensitivityOptions(variant, theta, cfg.Threads))
+			if err != nil {
+				return err
+			}
+			cells = append(cells, f3(correlate(baselines[variant.String()], res, pairs)))
+		}
+		ta.add(cells...)
+	}
+	ta.write(w)
+
+	fmt.Fprintln(w, "\n(b) Pearson coefficient of FSimχ vs FSimχ{θ=1} while varying w*")
+	wstars := []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+	if cfg.Quick {
+		wstars = []float64{0.2, 0.6, 1.0}
+	}
+	tb := &table{headers: []string{"w*", "FSim_s", "FSim_dp", "FSim_b", "FSim_bj"}}
+	for _, wstar := range wstars {
+		cells := []string{f2(wstar)}
+		for _, variant := range variantOrder {
+			mk := func(theta float64) (*core.Result, error) {
+				opts := sensitivityOptions(variant, theta, cfg.Threads)
+				opts.WPlus = (1 - wstar) / 2
+				opts.WMinus = (1 - wstar) / 2
+				return computeSelf(g, opts)
+			}
+			free, err := mk(0)
+			if err != nil {
+				return err
+			}
+			constrained, err := mk(1)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, f3(correlate(free, constrained, pairs)))
+		}
+		tb.add(cells...)
+	}
+	tb.write(w)
+	return nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// Fig7 reproduces the paper's Figure 7: running time (panel a) and number
+// of maintained candidate pairs (panel b) of all four variants while
+// varying θ on the NELL stand-in. Expected shape: time and candidates both
+// shrink as θ grows; dp and bj run slower than s and b (the matching
+// operator's sort), and b slower than s (bidirectional mapping).
+func Fig7(cfg Config) error {
+	g := nellGraph(cfg)
+	w := cfg.out()
+
+	thetas := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	if cfg.Quick {
+		thetas = []float64{0, 1.0}
+	}
+
+	tt := &table{headers: []string{"theta", "FSim_s", "FSim_dp", "FSim_b", "FSim_bj", "#pairs"}}
+	for _, theta := range thetas {
+		cells := []string{f2(theta)}
+		pairs := 0
+		for _, variant := range variantOrder {
+			res, err := computeSelf(g, sensitivityOptions(variant, theta, cfg.Threads))
+			if err != nil {
+				return err
+			}
+			cells = append(cells, dur(res.Duration))
+			pairs = res.CandidateCount
+		}
+		cells = append(cells, fmt.Sprintf("%d", pairs))
+		tt.add(cells...)
+	}
+	tt.write(w)
+	return nil
+}

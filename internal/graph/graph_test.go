@@ -1,0 +1,344 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandom constructs a random graph directly through the Builder (the
+// dataset package is not imported to keep the dependency direction clean).
+func buildRandom(seed int64, n, m, labels int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(string(rune('a' + rng.Intn(labels))))
+	}
+	for i := 0; i < m; i++ {
+		b.MustAddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("red")
+	v := b.AddNode("blue")
+	w := b.AddNode("red")
+	b.MustAddEdge(u, v)
+	b.MustAddEdge(u, v) // duplicate, merged at Build
+	b.MustAddEdge(v, w)
+	g := b.Build()
+
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d (duplicates should merge), want 2", g.NumEdges())
+	}
+	if g.NumLabels() != 2 {
+		t.Fatalf("NumLabels = %d, want 2", g.NumLabels())
+	}
+	if g.NodeLabelName(u) != "red" || g.NodeLabelName(v) != "blue" {
+		t.Fatalf("label mismatch")
+	}
+	if g.Label(u) != g.Label(w) {
+		t.Fatalf("same-name labels should intern to the same id")
+	}
+	if !g.HasEdge(u, v) || g.HasEdge(v, u) {
+		t.Fatalf("HasEdge direction wrong")
+	}
+	if got := g.Out(u); len(got) != 1 || got[0] != v {
+		t.Fatalf("Out(u) = %v", got)
+	}
+	if got := g.In(v); len(got) != 1 || got[0] != u {
+		t.Fatalf("In(v) = %v", got)
+	}
+	if g.OutDegree(u) != 1 || g.InDegree(u) != 0 {
+		t.Fatalf("degrees of u wrong")
+	}
+}
+
+func TestAddEdgeRange(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("x")
+	if err := b.AddEdge(0, 1); err == nil {
+		t.Fatal("expected range error for missing target")
+	}
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Fatal("expected range error for negative source")
+	}
+}
+
+// TestCSRInvariants property-checks the CSR representation: adjacency
+// lists are sorted and deduplicated, out/in views agree, and degree
+// accessors match list lengths.
+func TestCSRInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		n := int(seed % 29)
+		if n < 0 {
+			n = -n
+		}
+		g := buildRandom(seed, 1+n, 40, 3)
+		type edge struct{ u, v NodeID }
+		seen := map[edge]bool{}
+		g.Edges(func(u, v NodeID) bool {
+			seen[edge{u, v}] = true
+			return true
+		})
+		for u := 0; u < g.NumNodes(); u++ {
+			out := g.Out(NodeID(u))
+			if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+				return false
+			}
+			for i := 1; i < len(out); i++ {
+				if out[i] == out[i-1] {
+					return false // duplicate
+				}
+			}
+			if g.OutDegree(NodeID(u)) != len(out) {
+				return false
+			}
+			for _, v := range out {
+				// Mirror membership in the in-list.
+				found := false
+				for _, w := range g.In(v) {
+					if w == NodeID(u) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		// Edge count equals the deduplicated set size.
+		return g.NumEdges() == len(seen)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxDegrees(t *testing.T) {
+	g := buildRandom(3, 20, 60, 2)
+	maxOut, maxIn := 0, 0
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.OutDegree(NodeID(u)); d > maxOut {
+			maxOut = d
+		}
+		if d := g.InDegree(NodeID(u)); d > maxIn {
+			maxIn = d
+		}
+	}
+	if g.MaxOutDegree() != maxOut || g.MaxInDegree() != maxIn {
+		t.Fatalf("max degrees: got (%d,%d), want (%d,%d)",
+			g.MaxOutDegree(), g.MaxInDegree(), maxOut, maxIn)
+	}
+}
+
+func TestUndirectedDistancesAndDiameter(t *testing.T) {
+	// Path graph 0 -> 1 -> 2 -> 3 (directed); undirected distances span it.
+	b := NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddNode("x")
+	}
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 3)
+	g := b.Build()
+	d := g.UndirectedDistances(0)
+	want := []int32{0, 1, 2, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+	if g.Diameter() != 3 {
+		t.Fatalf("Diameter = %d, want 3", g.Diameter())
+	}
+}
+
+func TestWeakComponents(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AddNode("x")
+	}
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(2, 3)
+	g := b.Build()
+	comp, n := g.WeakComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] {
+		t.Fatalf("component assignment wrong: %v", comp)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := buildRandom(7, 15, 40, 3)
+	nodes := []NodeID{0, 3, 5, 7}
+	sub := g.Induced(nodes)
+	if sub.NumNodes() != len(nodes) {
+		t.Fatalf("induced nodes = %d", sub.NumNodes())
+	}
+	// Every edge between selected nodes must appear; labels preserved.
+	for li, u := range sub.ToParent {
+		if sub.NodeLabelName(NodeID(li)) != g.NodeLabelName(u) {
+			t.Fatalf("label not preserved")
+		}
+		for lj, v := range sub.ToParent {
+			if g.HasEdge(u, v) != sub.Graph.HasEdge(NodeID(li), NodeID(lj)) {
+				t.Fatalf("edge (%d,%d) presence mismatch", u, v)
+			}
+		}
+	}
+	// FromParent inverts ToParent.
+	for li, u := range sub.ToParent {
+		if sub.FromParent[u] != NodeID(li) {
+			t.Fatalf("FromParent inconsistent")
+		}
+	}
+}
+
+func TestBall(t *testing.T) {
+	// Star with center 0: ball radius 1 covers everything; radius 0 only 0.
+	b := NewBuilder()
+	c := b.AddNode("c")
+	for i := 0; i < 4; i++ {
+		b.MustAddEdge(c, b.AddNode("l"))
+	}
+	g := b.Build()
+	if got := g.Ball(c, 0).NumNodes(); got != 1 {
+		t.Fatalf("ball(0) = %d nodes", got)
+	}
+	if got := g.Ball(c, 1).NumNodes(); got != 5 {
+		t.Fatalf("ball(1) = %d nodes", got)
+	}
+	// Balls respect the radius on a leaf: radius 1 from a leaf reaches the
+	// center only; radius 2 reaches everything.
+	if got := g.Ball(1, 1).NumNodes(); got != 2 {
+		t.Fatalf("leaf ball(1) = %d nodes", got)
+	}
+	if got := g.Ball(1, 2).NumNodes(); got != 5 {
+		t.Fatalf("leaf ball(2) = %d nodes", got)
+	}
+}
+
+func TestUndirectedAndUnlabeled(t *testing.T) {
+	g := buildRandom(9, 12, 30, 3)
+	u := g.Undirected()
+	g.Edges(func(a, b NodeID) bool {
+		if !u.HasEdge(a, b) || !u.HasEdge(b, a) {
+			t.Fatalf("undirected missing mirror of (%d,%d)", a, b)
+		}
+		return true
+	})
+	ul := g.Unlabeled()
+	if ul.NumLabels() != 1 {
+		t.Fatalf("unlabeled has %d labels", ul.NumLabels())
+	}
+	if ul.NumEdges() != g.NumEdges() {
+		t.Fatalf("unlabeled changed edges")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		n := int(seed % 17)
+		if n < 0 {
+			n = -n
+		}
+		g := buildRandom(seed, 1+n, 30, 3)
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			return false
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			if g.NodeLabelName(NodeID(u)) != g2.NodeLabelName(NodeID(u)) {
+				return false
+			}
+		}
+		same := true
+		g.Edges(func(u, v NodeID) bool {
+			if !g2.HasEdge(u, v) {
+				same = false
+				return false
+			}
+			return true
+		})
+		return same
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"e 0 1\n",         // edge without nodes
+		"n a\nq huh\n",    // unknown directive
+		"n a\ne 0\n",      // malformed edge
+		"n a\ne 0 zero\n", // non-numeric id
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Fatalf("expected parse error for %q", c)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("a")
+	v := b.AddNode("b")
+	b.MustAddEdge(u, v)
+	dot := b.Build().DOT("g")
+	for _, want := range []string{"digraph", `label="a"`, "0 -> 1;"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestBuilderRoundTrip(t *testing.T) {
+	g := buildRandom(11, 14, 35, 3)
+	g2 := g.Builder().Build()
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("Builder() round trip changed shape")
+	}
+	g.Edges(func(u, v NodeID) bool {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) lost", u, v)
+		}
+		return true
+	})
+}
+
+func TestBuilderRemoveEdge(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("a")
+	v := b.AddNode("b")
+	b.MustAddEdge(u, v)
+	if !b.RemoveEdge(u, v) {
+		t.Fatal("RemoveEdge failed")
+	}
+	if b.RemoveEdge(u, v) {
+		t.Fatal("RemoveEdge should report absence")
+	}
+	if g := b.Build(); g.NumEdges() != 0 {
+		t.Fatal("edge not removed")
+	}
+}

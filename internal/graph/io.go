@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The text format is line-oriented:
+//
+//	n <label>        declares the next node (ids assigned 0,1,2,... in order)
+//	e <u> <v>        declares a directed edge
+//	# ...            comment
+//
+// Labels may contain spaces; everything after "n " is the label.
+
+// Write serializes g in the text format.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# fsim graph: %s\n", g.Stats())
+	for u := 0; u < g.NumNodes(); u++ {
+		fmt.Fprintf(bw, "n %s\n", g.NodeLabelName(NodeID(u)))
+	}
+	var err error
+	g.Edges(func(u, v NodeID) bool {
+		_, err = fmt.Fprintf(bw, "e %d %d\n", u, v)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format.
+func Read(r io.Reader) (*Graph, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "n ") || line == "n":
+			b.AddNode(strings.TrimSpace(strings.TrimPrefix(line, "n")))
+		case strings.HasPrefix(line, "e "):
+			fields := strings.Fields(line[2:])
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want 'e <u> <v>', got %q", lineNo, line)
+			}
+			u, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			if err := b.AddEdge(NodeID(u), NodeID(v)); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// WriteFile writes g to path in the text format.
+func (g *Graph) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile parses a graph from path.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// DOT renders g in Graphviz DOT syntax (useful when inspecting the paper's
+// small example graphs).
+func (g *Graph) DOT(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	for u := 0; u < g.NumNodes(); u++ {
+		fmt.Fprintf(&sb, "  %d [label=%q];\n", u, g.NodeLabelName(NodeID(u)))
+	}
+	g.Edges(func(u, v NodeID) bool {
+		fmt.Fprintf(&sb, "  %d -> %d;\n", u, v)
+		return true
+	})
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsString(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("a")
+	v := b.AddNode("b")
+	b.MustAddEdge(u, v)
+	s := b.Build().Stats().String()
+	for _, frag := range []string{"|V|=2", "|E|=1", "|Σ|=2", "D+=1", "D-=1"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("Stats string %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestLabelLookups(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("alpha")
+	b.AddNode("beta")
+	g := b.Build()
+	if l, ok := g.LabelID("alpha"); !ok || g.LabelName(l) != "alpha" {
+		t.Fatal("LabelID round trip failed")
+	}
+	if _, ok := g.LabelID("gamma"); ok {
+		t.Fatal("unknown label should not resolve")
+	}
+	if len(g.LabelNames()) != 2 {
+		t.Fatal("LabelNames length wrong")
+	}
+}
+
+func TestBuilderInternAndSetLabel(t *testing.T) {
+	b := NewBuilder()
+	l1 := b.InternLabel("x")
+	l2 := b.InternLabel("x")
+	if l1 != l2 {
+		t.Fatal("interning not idempotent")
+	}
+	u := b.AddNode("y")
+	b.SetLabel(u, "x")
+	if b.Label(u) != "x" {
+		t.Fatal("SetLabel failed")
+	}
+	if b.NumNodes() != 1 || b.NumEdges() != 0 {
+		t.Fatal("builder counters wrong")
+	}
+	g := b.Build()
+	// "y" remains interned even though unused by any node.
+	if g.NumLabels() != 2 {
+		t.Fatalf("labels = %d, want 2 (interned but unused kept)", g.NumLabels())
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("a")
+	v := b.AddNode("a")
+	b.MustAddEdge(u, v)
+	b.MustAddEdge(v, u)
+	g := b.Build()
+	count := 0
+	g.Edges(func(_, _ NodeID) bool {
+		count++
+		return false // stop after the first edge
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d edges", count)
+	}
+}

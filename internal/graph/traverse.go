@@ -1,0 +1,177 @@
+package graph
+
+// UndirectedDistances returns shortest-path hop counts from src treating
+// every edge as undirected; unreachable nodes get -1.
+func (g *Graph) UndirectedDistances(src NodeID) []int32 {
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		d := dist[u]
+		for _, v := range g.Out(u) {
+			if dist[v] < 0 {
+				dist[v] = d + 1
+				queue = append(queue, v)
+			}
+		}
+		for _, v := range g.In(u) {
+			if dist[v] < 0 {
+				dist[v] = d + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter returns the longest undirected shortest-path distance within the
+// largest weakly connected component of g. The paper's strong simulation
+// uses the query diameter δQ to bound ball extraction; queries are small, so
+// the all-sources BFS here is acceptable.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, d := range g.UndirectedDistances(NodeID(u)) {
+			if int(d) > diam {
+				diam = int(d)
+			}
+		}
+	}
+	return diam
+}
+
+// WeakComponents labels each node with a weakly-connected component id and
+// returns (componentOf, count).
+func (g *Graph) WeakComponents() ([]int32, int) {
+	comp := make([]int32, g.NumNodes())
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := int32(0)
+	var queue []NodeID
+	for s := 0; s < g.NumNodes(); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], NodeID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Out(u) {
+				if comp[v] < 0 {
+					comp[v] = next
+					queue = append(queue, v)
+				}
+			}
+			for _, v := range g.In(u) {
+				if comp[v] < 0 {
+					comp[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// Subgraph is an induced subgraph together with the mapping between its
+// local node ids and the ids of the parent graph.
+type Subgraph struct {
+	*Graph
+	// ToParent maps local node id -> parent node id.
+	ToParent []NodeID
+	// FromParent maps parent node id -> local node id, or -1 if absent.
+	FromParent []NodeID
+}
+
+// Induced extracts the subgraph induced by nodes (duplicates ignored),
+// preserving labels and every edge whose endpoints are both selected.
+func (g *Graph) Induced(nodes []NodeID) *Subgraph {
+	from := make([]NodeID, g.NumNodes())
+	for i := range from {
+		from[i] = -1
+	}
+	b := NewBuilder()
+	var to []NodeID
+	for _, u := range nodes {
+		if from[u] >= 0 {
+			continue
+		}
+		from[u] = b.AddNode(g.NodeLabelName(u))
+		to = append(to, u)
+	}
+	for _, u := range to {
+		for _, v := range g.Out(u) {
+			if from[v] >= 0 {
+				b.MustAddEdge(from[u], from[v])
+			}
+		}
+	}
+	return &Subgraph{Graph: b.Build(), ToParent: to, FromParent: from}
+}
+
+// Ball extracts G[v, r]: the subgraph induced by all nodes whose undirected
+// shortest distance to center is at most r (Ma et al.'s ball used by strong
+// simulation).
+func (g *Graph) Ball(center NodeID, r int) *Subgraph {
+	dist := make(map[NodeID]int, 64)
+	dist[center] = 0
+	order := []NodeID{center}
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		d := dist[u]
+		if d == r {
+			continue
+		}
+		for _, v := range g.Out(u) {
+			if _, ok := dist[v]; !ok {
+				dist[v] = d + 1
+				order = append(order, v)
+			}
+		}
+		for _, v := range g.In(u) {
+			if _, ok := dist[v]; !ok {
+				dist[v] = d + 1
+				order = append(order, v)
+			}
+		}
+	}
+	return g.Induced(order)
+}
+
+// Undirected returns a graph with every edge mirrored, so that N+(u) holds
+// the undirected neighborhood and N−(u) = N+(u). RoleSim and the WL test
+// (paper §4.3) operate on this form.
+func (g *Graph) Undirected() *Graph {
+	b := NewBuilder()
+	for u := 0; u < g.NumNodes(); u++ {
+		b.AddNode(g.NodeLabelName(NodeID(u)))
+	}
+	g.Edges(func(u, v NodeID) bool {
+		b.MustAddEdge(u, v)
+		b.MustAddEdge(v, u)
+		return true
+	})
+	return b.Build()
+}
+
+// Unlabeled returns a copy of g in which every node carries the same label;
+// SimRank (paper §4.3) is defined on label-free graphs.
+func (g *Graph) Unlabeled() *Graph {
+	b := NewBuilder()
+	for u := 0; u < g.NumNodes(); u++ {
+		b.AddNode("")
+	}
+	g.Edges(func(u, v NodeID) bool {
+		b.MustAddEdge(u, v)
+		return true
+	})
+	return b.Build()
+}

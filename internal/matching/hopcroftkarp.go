@@ -1,0 +1,94 @@
+package matching
+
+// HopcroftKarp computes a maximum-cardinality matching in a bipartite graph
+// given as adjacency lists adj[i] = columns reachable from left node i.
+// It returns matchL (matchL[i] = matched column or -1) and the matching
+// size. Complexity O(E·√V).
+//
+// The exact dp- and bj-simulation checkers use this to decide whether the
+// current relation restricted to two neighborhoods admits an injective
+// (respectively perfect) mapping.
+func HopcroftKarp(adj [][]int, n2 int) ([]int, int) {
+	n1 := len(adj)
+	matchL := make([]int, n1)
+	matchR := make([]int, n2)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for j := range matchR {
+		matchR[j] = -1
+	}
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n1)
+	queue := make([]int, 0, n1)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for i := 0; i < n1; i++ {
+			if matchL[i] == -1 {
+				dist[i] = 0
+				queue = append(queue, i)
+			} else {
+				dist[i] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			i := queue[head]
+			for _, j := range adj[i] {
+				k := matchR[j]
+				if k == -1 {
+					found = true
+				} else if dist[k] == inf {
+					dist[k] = dist[i] + 1
+					queue = append(queue, k)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		for _, j := range adj[i] {
+			k := matchR[j]
+			if k == -1 || (dist[k] == dist[i]+1 && dfs(k)) {
+				matchL[i] = j
+				matchR[j] = i
+				return true
+			}
+		}
+		dist[i] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for i := 0; i < n1; i++ {
+			if matchL[i] == -1 && dfs(i) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}
+
+// HasSaturatingMatching reports whether every left node can be matched
+// injectively into the right side (|matching| == n1).
+func HasSaturatingMatching(adj [][]int, n2 int) bool {
+	if len(adj) > n2 {
+		return false
+	}
+	_, size := HopcroftKarp(adj, n2)
+	return size == len(adj)
+}
+
+// HasPerfectMatching reports whether a bijection exists between the two
+// sides (requires n1 == n2 and a saturating matching).
+func HasPerfectMatching(adj [][]int, n2 int) bool {
+	if len(adj) != n2 {
+		return false
+	}
+	_, size := HopcroftKarp(adj, n2)
+	return size == n2
+}

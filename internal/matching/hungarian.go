@@ -1,0 +1,118 @@
+package matching
+
+// Hungarian solves the maximum-weight assignment problem exactly on a dense
+// n1 × n2 matrix of non-negative weights, n1 ≤ n2 not required (the smaller
+// side is padded internally). It returns assign, where assign[i] is the
+// column matched to row i (or -1 when the row is left unmatched because
+// n1 > n2), and the total weight.
+//
+// The implementation is the O(n³) potentials ("Jonker-Volgenant style")
+// formulation of the Kuhn-Munkres algorithm, minimizing the negated
+// weights.
+func Hungarian(w [][]float64) ([]int, float64) {
+	n1 := len(w)
+	if n1 == 0 {
+		return nil, 0
+	}
+	n2 := len(w[0])
+	transposed := false
+	if n1 > n2 {
+		// Transpose so rows ≤ cols.
+		t := make([][]float64, n2)
+		for j := 0; j < n2; j++ {
+			t[j] = make([]float64, n1)
+			for i := 0; i < n1; i++ {
+				t[j][i] = w[i][j]
+			}
+		}
+		w, n1, n2 = t, n2, n1
+		transposed = true
+	}
+
+	// cost[i][j] = -w[i][j]; minimize.
+	const inf = 1e18
+	u := make([]float64, n1+1)
+	v := make([]float64, n2+1)
+	p := make([]int, n2+1) // p[j] = row assigned to column j (1-based; 0 = none)
+	way := make([]int, n2+1)
+
+	for i := 1; i <= n1; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n2+1)
+		used := make([]bool, n2+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n2; j++ {
+				if used[j] {
+					continue
+				}
+				cur := -w[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n2; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assignSmall := make([]int, n1)
+	for i := range assignSmall {
+		assignSmall[i] = -1
+	}
+	total := 0.0
+	for j := 1; j <= n2; j++ {
+		if p[j] != 0 {
+			assignSmall[p[j]-1] = j - 1
+			total += w[p[j]-1][j-1]
+		}
+	}
+	if !transposed {
+		return assignSmall, total
+	}
+	// Undo the transpose: original rows were the columns here.
+	assign := make([]int, n2)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for smallRow, col := range assignSmall {
+		if col >= 0 {
+			assign[col] = smallRow
+		}
+	}
+	return assign, total
+}
+
+// HungarianTotal is a convenience wrapper returning only the optimal total
+// weight.
+func HungarianTotal(w [][]float64) float64 {
+	_, total := Hungarian(w)
+	return total
+}

@@ -1,0 +1,54 @@
+package matching
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestSortEdgesDesc property-checks the hand-rolled quicksort against the
+// standard library on random inputs including heavy ties.
+func TestSortEdgesDesc(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		es := make([]wEdge, n)
+		want := make([]wEdge, n)
+		for i := range es {
+			es[i] = wEdge{w: float64(rng.Intn(8)) / 8, idx: int32(rng.Intn(50))}
+			want[i] = es[i]
+		}
+		sortEdgesDesc(es)
+		sort.SliceStable(want, func(a, b int) bool { return want[a].less(want[b]) })
+		for i := range es {
+			if es[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortEdgesDescEdgeCases covers the empty, single and all-equal inputs.
+func TestSortEdgesDescEdgeCases(t *testing.T) {
+	sortEdgesDesc(nil)
+	one := []wEdge{{w: 1, idx: 0}}
+	sortEdgesDesc(one)
+	if one[0].w != 1 {
+		t.Fatal("single element corrupted")
+	}
+	same := make([]wEdge, 40)
+	for i := range same {
+		same[i] = wEdge{w: 0.5, idx: int32(40 - i)}
+	}
+	sortEdgesDesc(same)
+	for i := 1; i < len(same); i++ {
+		if same[i].idx < same[i-1].idx {
+			t.Fatal("ties must order by ascending index")
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package nodesim
+
+import (
+	"sort"
+
+	"fsim/internal/stats"
+)
+
+// TopVenues returns the top-k venue indices most similar to the subject
+// venue under the given score matrix (self included, as in Table 7).
+func TopVenues(scores [][]float64, subject, k int) []stats.Ranked {
+	return stats.TopK(scores[subject], k)
+}
+
+// NDCGAt evaluates a measure's retrieval quality for one subject venue:
+// DCG of its top-k ranked venues' relevance grades normalized by the ideal
+// DCG attainable over the whole venue corpus (standard nDCG@k; the Table 8
+// protocol with k = 15). The subject itself is excluded from the ranking.
+func NDCGAt(n *Network, scores [][]float64, subject, k int) float64 {
+	row := make([]float64, len(scores[subject]))
+	copy(row, scores[subject])
+	row[subject] = -1 // exclude self
+	top := stats.TopK(row, k)
+	rels := make([]float64, len(top))
+	for i, t := range top {
+		rels[i] = n.Relevance(subject, t.Index)
+	}
+	// Corpus-ideal ranking: every venue's relevance, best-first, cut at k.
+	ideal := make([]float64, 0, len(n.Venues)-1)
+	for j := range n.Venues {
+		if j != subject {
+			ideal = append(ideal, n.Relevance(subject, j))
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	if len(ideal) > k {
+		ideal = ideal[:k]
+	}
+	idcg := stats.DCG(ideal)
+	if idcg == 0 {
+		return 0
+	}
+	return stats.DCG(rels) / idcg
+}
+
+// MeanNDCG averages NDCGAt over the network's 15 subject venues.
+func MeanNDCG(n *Network, scores [][]float64, k int) float64 {
+	vals := make([]float64, 0, len(n.Subjects))
+	for _, s := range n.Subjects {
+		vals = append(vals, NDCGAt(n, scores, s, k))
+	}
+	return stats.Mean(vals)
+}

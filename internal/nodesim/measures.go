@@ -1,0 +1,199 @@
+package nodesim
+
+import (
+	"math"
+
+	"fsim/internal/graph"
+)
+
+// Measure scores venue-venue similarity over a Network; scores[i][j] is the
+// similarity of Venues[i] and Venues[j].
+type Measure interface {
+	Name() string
+	VenueScores(n *Network) [][]float64
+}
+
+// metaPathCounts computes the V-P-A-P-V meta-path count matrix M over
+// venues: M[x][y] = number of paths venue_x ← paper ← author → paper →
+// venue_y. PathSim, JoinSim and PCRW all derive from this commuting
+// structure (Sun et al., VLDB'11).
+func metaPathCounts(n *Network) [][]float64 {
+	g := n.G
+	nv := len(n.Venues)
+	venueOf := map[graph.NodeID]int{}
+	for i, v := range n.Venues {
+		venueOf[v] = i
+	}
+	m := make([][]float64, nv)
+	for i := range m {
+		m[i] = make([]float64, nv)
+	}
+	for i, v := range n.Venues {
+		// papers of venue v.
+		for _, paper := range g.In(v) {
+			// authors of the paper.
+			for _, author := range g.In(paper) {
+				// other papers by the author.
+				for _, paper2 := range g.Out(author) {
+					// venue of paper2.
+					for _, v2 := range g.Out(paper2) {
+						if j, ok := venueOf[v2]; ok {
+							m[i][j]++
+						}
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// PathSim is the symmetric meta-path measure: 2·M[x][y]/(M[x][x]+M[y][y]).
+type PathSim struct{}
+
+func (PathSim) Name() string { return "PathSim" }
+
+func (PathSim) VenueScores(n *Network) [][]float64 {
+	m := metaPathCounts(n)
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = make([]float64, len(m))
+		for j := range m {
+			den := m[i][i] + m[j][j]
+			if den > 0 {
+				out[i][j] = 2 * m[i][j] / den
+			}
+		}
+	}
+	return out
+}
+
+// JoinSim normalizes the meta-path count by the geometric mean of the
+// self-counts, which makes it satisfy the triangle inequality (Xiong et
+// al., TKDE'15).
+type JoinSim struct{}
+
+func (JoinSim) Name() string { return "JoinSim" }
+
+func (JoinSim) VenueScores(n *Network) [][]float64 {
+	m := metaPathCounts(n)
+	out := make([][]float64, len(m))
+	for i := range m {
+		out[i] = make([]float64, len(m))
+		for j := range m {
+			den := math.Sqrt(m[i][i] * m[j][j])
+			if den > 0 {
+				out[i][j] = m[i][j] / den
+			}
+		}
+	}
+	return out
+}
+
+// PCRW is the path-constrained random walk measure (Lao & Cohen, 2010): the
+// probability of reaching y from x walking the V-P-A-P-V meta-path with
+// uniform transitions. It is asymmetric.
+type PCRW struct{}
+
+func (PCRW) Name() string { return "PCRW" }
+
+func (PCRW) VenueScores(n *Network) [][]float64 {
+	g := n.G
+	nv := len(n.Venues)
+	venueOf := map[graph.NodeID]int{}
+	for i, v := range n.Venues {
+		venueOf[v] = i
+	}
+	out := make([][]float64, nv)
+	for i, v := range n.Venues {
+		out[i] = make([]float64, nv)
+		papers := g.In(v)
+		if len(papers) == 0 {
+			continue
+		}
+		pPaper := 1 / float64(len(papers))
+		for _, paper := range papers {
+			authors := g.In(paper)
+			if len(authors) == 0 {
+				continue
+			}
+			pAuthor := pPaper / float64(len(authors))
+			for _, author := range authors {
+				papers2 := g.Out(author)
+				if len(papers2) == 0 {
+					continue
+				}
+				pPaper2 := pAuthor / float64(len(papers2))
+				for _, paper2 := range papers2 {
+					venues2 := g.Out(paper2)
+					if len(venues2) == 0 {
+						continue
+					}
+					pv := pPaper2 / float64(len(venues2))
+					for _, v2 := range venues2 {
+						if j, ok := venueOf[v2]; ok {
+							out[i][j] += pv
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NSimGram re-implements the core idea of nSimGram (Conte et al., KDD'18):
+// each node carries a profile of q-gram label sequences reachable by short
+// walks, and similarity is the weighted Jaccard overlap of profiles. For a
+// venue the q=3 profile walks V ← P ← A, so profiles encode the venue's
+// author community with multiplicities.
+type NSimGram struct{}
+
+func (NSimGram) Name() string { return "nSimGram" }
+
+func (NSimGram) VenueScores(n *Network) [][]float64 {
+	g := n.G
+	nv := len(n.Venues)
+	profiles := make([]map[string]float64, nv)
+	for i, v := range n.Venues {
+		prof := map[string]float64{}
+		for _, paper := range g.In(v) {
+			for _, author := range g.In(paper) {
+				gram := "V|P|" + g.NodeLabelName(author)
+				prof[gram]++
+			}
+		}
+		profiles[i] = prof
+	}
+	out := make([][]float64, nv)
+	for i := range profiles {
+		out[i] = make([]float64, nv)
+		for j := range profiles {
+			out[i][j] = weightedJaccard(profiles[i], profiles[j])
+		}
+	}
+	return out
+}
+
+func weightedJaccard(a, b map[string]float64) float64 {
+	var minSum, maxSum float64
+	for k, av := range a {
+		bv := b[k]
+		if av < bv {
+			minSum += av
+			maxSum += bv
+		} else {
+			minSum += bv
+			maxSum += av
+		}
+	}
+	for k, bv := range b {
+		if _, ok := a[k]; !ok {
+			maxSum += bv
+		}
+	}
+	if maxSum == 0 {
+		return 0
+	}
+	return minSum / maxSum
+}

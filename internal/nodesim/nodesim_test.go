@@ -1,0 +1,155 @@
+package nodesim
+
+import (
+	"math"
+	"testing"
+
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+)
+
+func testNetwork() *Network {
+	return Generate(Params{Authors: 120, PapersPerAuthor: 3, Seed: 3})
+}
+
+func TestGenerateShape(t *testing.T) {
+	net := testNetwork()
+	if len(net.Venues) != len(venueSpecs) {
+		t.Fatalf("venues = %d", len(net.Venues))
+	}
+	if len(net.Subjects) != 15 {
+		t.Fatalf("subjects = %d, want 15", len(net.Subjects))
+	}
+	// Venue nodes are labeled "V" and are sinks with paper in-edges.
+	for _, v := range net.Venues {
+		if net.G.NodeLabelName(v) != "V" {
+			t.Fatal("venue label wrong")
+		}
+		if net.G.OutDegree(v) != 0 {
+			t.Fatal("venues must be sinks")
+		}
+	}
+	// Every paper has exactly one venue and at least one author.
+	for u := 0; u < net.G.NumNodes(); u++ {
+		id := graph.NodeID(u)
+		if net.G.NodeLabelName(id) != "P" {
+			continue
+		}
+		if net.G.OutDegree(id) != 1 {
+			t.Fatal("paper should point to exactly one venue")
+		}
+		if net.G.InDegree(id) == 0 {
+			t.Fatal("paper without authors")
+		}
+	}
+	// The duplicates carry comparable volume to WWW (same community).
+	www := net.G.InDegree(net.Venues[net.VenueIndex("WWW")])
+	for _, d := range []string{"WWW1", "WWW2", "WWW3"} {
+		dup := net.G.InDegree(net.Venues[net.VenueIndex(d)])
+		if dup == 0 || math.Abs(float64(dup-www)) > float64(www)*2 {
+			t.Fatalf("duplicate %s volume %d too far from WWW's %d", d, dup, www)
+		}
+	}
+}
+
+func TestRelevance(t *testing.T) {
+	net := testNetwork()
+	vldb := net.VenueIndex("VLDB")
+	icde := net.VenueIndex("ICDE")
+	cikm := net.VenueIndex("CIKM")
+	icml := net.VenueIndex("ICML")
+	if net.Relevance(vldb, icde) != 2 {
+		t.Fatal("VLDB-ICDE should be 2 (same area, top tier)")
+	}
+	if net.Relevance(vldb, cikm) != 1 {
+		t.Fatal("VLDB-CIKM should be 1 (same area, different tier)")
+	}
+	if net.Relevance(vldb, icml) != 0 {
+		t.Fatal("VLDB-ICML should be 0 (different areas)")
+	}
+	if net.Relevance(vldb, vldb) != 2 {
+		t.Fatal("self relevance should be 2")
+	}
+}
+
+// TestMeasuresSelfSimilarity verifies every measure ranks a venue most
+// similar to itself.
+func TestMeasuresSelfSimilarity(t *testing.T) {
+	net := testNetwork()
+	measures := []Measure{PathSim{}, JoinSim{}, NSimGram{}}
+	for _, m := range measures {
+		scores := m.VenueScores(net)
+		for i := range scores {
+			if net.G.InDegree(net.Venues[i]) == 0 {
+				continue // empty venue: all-zero row allowed
+			}
+			if math.Abs(scores[i][i]-1) > 1e-9 {
+				t.Errorf("%s: self score of venue %d = %v", m.Name(), i, scores[i][i])
+			}
+			for j := range scores[i] {
+				if scores[i][j] > scores[i][i]+1e-9 {
+					t.Errorf("%s: venue %d scores %d above itself", m.Name(), i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestMetaPathSymmetry verifies the commuting-count symmetry PathSim and
+// JoinSim inherit, and PCRW's rows being probability sub-distributions.
+func TestMetaPathSymmetry(t *testing.T) {
+	net := testNetwork()
+	m := metaPathCounts(net)
+	for i := range m {
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Fatalf("meta-path counts not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	p := PCRW{}.VenueScores(net)
+	for i := range p {
+		sum := 0.0
+		for _, x := range p[i] {
+			sum += x
+		}
+		if sum > 1+1e-9 {
+			t.Fatalf("PCRW row %d sums to %v > 1", i, sum)
+		}
+	}
+}
+
+// TestDuplicatesSurface verifies the Table 7 headline on the planted
+// ground truth: FSim_bj ranks the WWW duplicates among the top venues.
+func TestDuplicatesSurface(t *testing.T) {
+	net := testNetwork()
+	m := &FSimMeasure{Variant: exact.BJ, Threads: 1}
+	scores := m.VenueScores(net)
+	subject := net.VenueIndex("WWW")
+	top := TopVenues(scores, subject, 6)
+	found := 0
+	for _, r := range top {
+		switch net.VenueName[r.Index] {
+		case "WWW1", "WWW2", "WWW3":
+			found++
+		}
+	}
+	if found < 2 {
+		t.Errorf("FSim_bj surfaced only %d of 3 duplicates in its top-6", found)
+	}
+}
+
+func TestNDCGBounds(t *testing.T) {
+	net := testNetwork()
+	scores := PathSim{}.VenueScores(net)
+	for _, s := range net.Subjects {
+		v := NDCGAt(net, scores, s, 15)
+		if v < 0 || v > 1 {
+			t.Fatalf("nDCG out of range: %v", v)
+		}
+	}
+	mean := MeanNDCG(net, scores, 15)
+	if mean <= 0 || mean > 1 {
+		t.Fatalf("mean nDCG = %v", mean)
+	}
+}

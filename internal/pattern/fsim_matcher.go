@@ -1,0 +1,138 @@
+package pattern
+
+import (
+	"fmt"
+
+	"fsim/internal/core"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+	"fsim/internal/strsim"
+)
+
+// FSimMatcher matches queries by FSimχ scores following the paper's §5.4
+// protocol (after NAGA): node pairs with high FSimχ scores act as seeds and
+// the match grows by expanding the region around the seeds, at each step
+// binding the query neighbor of an already-bound query node to the
+// best-scoring unused data neighbor.
+type FSimMatcher struct {
+	// Variant is the χ-simulation to quantify; the case study uses the
+	// asymmetric variants s and dp.
+	Variant exact.Variant
+	// Threads forwards to core.Options.Threads.
+	Threads int
+}
+
+// Name implements Matcher.
+func (m *FSimMatcher) Name() string { return fmt.Sprintf("FSim_%v", m.Variant) }
+
+// Match implements Matcher.
+func (m *FSimMatcher) Match(q, g *graph.Graph) *Match {
+	opts := core.DefaultOptions(m.Variant)
+	opts.Label = strsim.Indicator // product labels carry clear semantics (§5.4)
+	opts.Threads = m.Threads
+	res, err := core.Compute(q, g, opts)
+	if err != nil {
+		return nil
+	}
+	return expandFromSeeds(q, g, func(qn, dn graph.NodeID) float64 {
+		return res.Score(qn, dn)
+	})
+}
+
+// expandFromSeeds implements the shared match-generation protocol: take the
+// best-scoring (query, data) pair as the seed, then repeatedly bind the
+// unbound query node adjacent to the bound region, choosing the unused data
+// node that (a) keeps the match connected along the query edge when
+// possible and (b) maximizes the pair score. Falls back to the globally
+// best-scoring unused data node when no adjacent candidate exists.
+func expandFromSeeds(q, g *graph.Graph, score func(qn, dn graph.NodeID) float64) *Match {
+	nq, ng := q.NumNodes(), g.NumNodes()
+	if nq == 0 || ng == 0 {
+		return nil
+	}
+	assign := make([]graph.NodeID, nq)
+	for i := range assign {
+		assign[i] = -1
+	}
+	used := make(map[graph.NodeID]bool, nq)
+
+	// Seed: global best pair.
+	var seedQ, seedD graph.NodeID = 0, -1
+	best := -1.0
+	for u := 0; u < nq; u++ {
+		for v := 0; v < ng; v++ {
+			if s := score(graph.NodeID(u), graph.NodeID(v)); s > best {
+				best = s
+				seedQ, seedD = graph.NodeID(u), graph.NodeID(v)
+			}
+		}
+	}
+	if seedD < 0 {
+		return nil
+	}
+	assign[seedQ] = seedD
+	used[seedD] = true
+	total := best
+
+	for bound := 1; bound < nq; bound++ {
+		// Pick the best (unbound query node, candidate data node) pair,
+		// preferring candidates adjacent to the bound region.
+		type cand struct {
+			qn, dn graph.NodeID
+			s      float64
+			adj    bool
+		}
+		bestC := cand{dn: -1, s: -1}
+		consider := func(qn, dn graph.NodeID, adj bool) {
+			if used[dn] {
+				return
+			}
+			s := score(qn, dn)
+			// Adjacent candidates strictly dominate non-adjacent ones.
+			if (adj && !bestC.adj) || (adj == bestC.adj && s > bestC.s) {
+				bestC = cand{qn: qn, dn: dn, s: s, adj: adj}
+			}
+		}
+		for u := 0; u < nq; u++ {
+			if assign[u] >= 0 {
+				continue
+			}
+			qn := graph.NodeID(u)
+			// Candidates via query edges into the bound region.
+			for _, qv := range q.Out(qn) {
+				if d := assign[qv]; d >= 0 {
+					for _, c := range g.In(d) {
+						consider(qn, c, true)
+					}
+				}
+			}
+			for _, qv := range q.In(qn) {
+				if d := assign[qv]; d >= 0 {
+					for _, c := range g.Out(d) {
+						consider(qn, c, true)
+					}
+				}
+			}
+		}
+		if bestC.dn < 0 {
+			// No adjacent candidate anywhere: fall back to the globally
+			// best unused data node for the first unbound query node.
+			for u := 0; u < nq && bestC.dn < 0; u++ {
+				if assign[u] >= 0 {
+					continue
+				}
+				for v := 0; v < ng; v++ {
+					consider(graph.NodeID(u), graph.NodeID(v), false)
+				}
+				break
+			}
+		}
+		if bestC.dn < 0 {
+			break
+		}
+		assign[bestC.qn] = bestC.dn
+		used[bestC.dn] = true
+		total += bestC.s
+	}
+	return &Match{Assignment: assign, Score: total}
+}

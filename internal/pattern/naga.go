@@ -1,0 +1,84 @@
+package pattern
+
+import (
+	"fsim/internal/graph"
+)
+
+// NAGAMatcher re-implements the core idea of NAGA (Dutta et al., WWW'17):
+// node similarity via the chi-square statistic of neighborhood label
+// occurrences — how surprisingly often a candidate's neighborhood realizes
+// the query node's neighbor labels compared to chance — with matches grown
+// around high-scoring seeds. Candidates must share the query node's label
+// (NAGA's label predicate), so label noise degrades it sharply, as Table 6
+// reports for the original.
+type NAGAMatcher struct{}
+
+// Name implements Matcher.
+func (NAGAMatcher) Name() string { return "NAGA" }
+
+// Match implements Matcher.
+func (NAGAMatcher) Match(q, g *graph.Graph) *Match {
+	// Background label frequencies of the data graph.
+	freq := map[string]float64{}
+	for v := 0; v < g.NumNodes(); v++ {
+		freq[g.NodeLabelName(graph.NodeID(v))]++
+	}
+	total := float64(g.NumNodes())
+	for k := range freq {
+		freq[k] /= total
+	}
+
+	// Per query node: the multiset of neighbor labels it expects.
+	type profile struct {
+		want map[string]int
+		p    float64 // background probability of hitting any wanted label
+	}
+	profiles := make([]profile, q.NumNodes())
+	for u := 0; u < q.NumNodes(); u++ {
+		want := map[string]int{}
+		for _, v := range q.Out(graph.NodeID(u)) {
+			want[q.NodeLabelName(v)]++
+		}
+		for _, v := range q.In(graph.NodeID(u)) {
+			want[q.NodeLabelName(v)]++
+		}
+		p := 0.0
+		for l := range want {
+			p += freq[l]
+		}
+		profiles[u] = profile{want: want, p: p}
+	}
+
+	score := func(qn, dn graph.NodeID) float64 {
+		if q.NodeLabelName(qn) != g.NodeLabelName(dn) {
+			return 0
+		}
+		prof := profiles[qn]
+		// Observed: how many wanted neighbor labels the candidate realizes
+		// (each wanted occurrence can be matched at most once).
+		remaining := map[string]int{}
+		for l, c := range prof.want {
+			remaining[l] = c
+		}
+		observed := 0
+		countFrom := func(neigh []graph.NodeID) {
+			for _, w := range neigh {
+				l := g.NodeLabelName(w)
+				if remaining[l] > 0 {
+					remaining[l]--
+					observed++
+				}
+			}
+		}
+		countFrom(g.Out(dn))
+		countFrom(g.In(dn))
+		deg := float64(g.OutDegree(dn) + g.InDegree(dn))
+		expected := deg * prof.p
+		if float64(observed) <= expected {
+			return 1e-9 // no positive surprise; keep label-matched pairs barely alive
+		}
+		d := float64(observed) - expected
+		return d * d / (expected + 1)
+	}
+	return expandFromSeeds(q, g, score)
+}

@@ -1,0 +1,169 @@
+package pattern
+
+import (
+	"testing"
+
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	spec := dataset.MustPaperSpec("Amazon", 800)
+	return spec.Generate()
+}
+
+func TestF1Scoring(t *testing.T) {
+	truth := []graph.NodeID{10, 11, 12}
+	perfect := &Match{Assignment: []graph.NodeID{10, 11, 12}}
+	if got := F1(perfect, truth); got != 1 {
+		t.Fatalf("perfect match F1 = %v", got)
+	}
+	half := &Match{Assignment: []graph.NodeID{10, 99, -1}}
+	// precision 1/2, recall 1/3 → F1 = 0.4.
+	if got := F1(half, truth); got < 0.39 || got > 0.41 {
+		t.Fatalf("partial match F1 = %v", got)
+	}
+	if got := F1(nil, truth); got != 0 {
+		t.Fatalf("nil match F1 = %v", got)
+	}
+	if got := F1(&Match{Assignment: []graph.NodeID{-1, -1, -1}}, truth); got != 0 {
+		t.Fatalf("empty assignment F1 = %v", got)
+	}
+}
+
+func TestGenerateQuery(t *testing.T) {
+	g := testGraph()
+	q := GenerateQuery(g, 6, Exact, 0.33, 42)
+	if q == nil {
+		t.Fatal("no query extracted")
+	}
+	if q.Graph.NumNodes() != 6 || len(q.Truth) != 6 {
+		t.Fatalf("query size wrong: %d nodes, %d truth", q.Graph.NumNodes(), len(q.Truth))
+	}
+	// Exact queries preserve labels and edges of the induced subgraph.
+	for i, parent := range q.Truth {
+		if q.Graph.NodeLabelName(graph.NodeID(i)) != g.NodeLabelName(parent) {
+			t.Fatal("exact query changed a label")
+		}
+	}
+	// Noisy-E adds edges (possibly zero; check at a seed where it adds).
+	grew := false
+	for seed := int64(0); seed < 10; seed++ {
+		qe := GenerateQuery(g, 6, NoisyE, 0.5, seed)
+		if qe != nil && qe.Graph.NumEdges() > 0 {
+			base := GenerateQuery(g, 6, Exact, 0.5, seed)
+			if base != nil && qe.Graph.NumEdges() > base.Graph.NumEdges() {
+				grew = true
+				break
+			}
+		}
+	}
+	if !grew {
+		t.Fatal("Noisy-E never added an edge across 10 seeds")
+	}
+}
+
+// TestMatchersOnExactQueries verifies that every matcher reconstructs a
+// verbatim extraction reasonably well (the Table 6 "Exact" column: all
+// near-perfect except possibly chi-square NAGA).
+func TestMatchersOnExactQueries(t *testing.T) {
+	g := testGraph()
+	matchers := []Matcher{
+		&TSpanMatcher{Budget: 1},
+		StrongSimMatcher{},
+		&FSimMatcher{Variant: exact.S, Threads: 1},
+		GFinderMatcher{},
+	}
+	for _, m := range matchers {
+		total, n := 0.0, 0
+		for seed := int64(0); seed < 6; seed++ {
+			q := GenerateQuery(g, 5, Exact, 0.33, seed*7+1)
+			if q == nil {
+				continue
+			}
+			total += F1(m.Match(q.Graph, g), q.Truth)
+			n++
+		}
+		if n == 0 {
+			t.Fatal("no queries generated")
+		}
+		if avg := total / float64(n); avg < 0.6 {
+			t.Errorf("%s: mean F1 on exact queries = %.2f, want ≥ 0.6", m.Name(), avg)
+		}
+	}
+}
+
+// TestTSpanRespectsBudget verifies the edit-distance semantics: a query
+// with one extra edge is found by TSpan-1 but not TSpan-0.
+func TestTSpanRespectsBudget(t *testing.T) {
+	// Data: triangle a->b->c plus a->c.
+	db := graph.NewBuilder()
+	a := db.AddNode("a")
+	bb := db.AddNode("b")
+	c := db.AddNode("c")
+	db.MustAddEdge(a, bb)
+	db.MustAddEdge(bb, c)
+	g := db.Build()
+
+	// Query asks additionally for a->c, which the data lacks.
+	qb := graph.NewBuilder()
+	qa := qb.AddNode("a")
+	qbn := qb.AddNode("b")
+	qc := qb.AddNode("c")
+	qb.MustAddEdge(qa, qbn)
+	qb.MustAddEdge(qbn, qc)
+	qb.MustAddEdge(qa, qc)
+	q := qb.Build()
+
+	if m := (&TSpanMatcher{Budget: 0}).Match(q, g); m != nil {
+		t.Fatal("TSpan-0 should fail with a missing edge")
+	}
+	m := (&TSpanMatcher{Budget: 1}).Match(q, g)
+	if m == nil {
+		t.Fatal("TSpan-1 should tolerate one missing edge")
+	}
+	if m.Assignment[qa] != a || m.Assignment[qbn] != bb || m.Assignment[qc] != c {
+		t.Fatalf("wrong embedding: %v", m.Assignment)
+	}
+}
+
+// TestTSpanLabelNoise verifies the Table 6 "-" behaviour: an alien label
+// leaves TSpan without any result.
+func TestTSpanLabelNoise(t *testing.T) {
+	g := testGraph()
+	qb := graph.NewBuilder()
+	x := qb.AddNode("__alien__")
+	y := qb.AddNode(g.NodeLabelName(0))
+	qb.MustAddEdge(x, y)
+	if m := (&TSpanMatcher{Budget: 3}).Match(qb.Build(), g); m != nil {
+		t.Fatal("TSpan should have no result under alien labels")
+	}
+}
+
+// TestFSimMatcherNoiseRobust verifies strength S1: with label noise,
+// strong simulation fails while the FSims matcher still recovers most of
+// the region.
+func TestFSimMatcherNoiseRobust(t *testing.T) {
+	g := testGraph()
+	fsimM := &FSimMatcher{Variant: exact.S, Threads: 1}
+	strong := StrongSimMatcher{}
+	var fsimSum, strongSum float64
+	n := 0
+	for seed := int64(0); seed < 8; seed++ {
+		q := GenerateQuery(g, 6, Combined, 0.33, seed*13+5)
+		if q == nil {
+			continue
+		}
+		fsimSum += F1(fsimM.Match(q.Graph, g), q.Truth)
+		strongSum += F1(strong.Match(q.Graph, g), q.Truth)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no queries")
+	}
+	if fsimSum <= strongSum {
+		t.Errorf("FSims (%.2f) should beat strong simulation (%.2f) under combined noise",
+			fsimSum/float64(n), strongSum/float64(n))
+	}
+}

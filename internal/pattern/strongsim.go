@@ -1,0 +1,76 @@
+package pattern
+
+import (
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+	"fsim/internal/matching"
+)
+
+// StrongSimMatcher is the exact strong-simulation baseline (Ma et al.; the
+// paper's first comparison point). It is exact by nature: any noise that
+// breaks the simulation relation yields no result, which is precisely the
+// brittleness Table 6 demonstrates.
+type StrongSimMatcher struct{}
+
+// Name implements Matcher.
+func (StrongSimMatcher) Name() string { return "StrongSim" }
+
+// Match implements Matcher: it runs strong simulation, takes the match with
+// the smallest ball (the tightest region), and extracts a top-1 injective
+// assignment from the per-query-node match sets via maximum-cardinality
+// matching, breaking ties toward candidates whose degrees resemble the
+// query node's.
+func (StrongSimMatcher) Match(q, g *graph.Graph) *Match {
+	matches := exact.StrongSimulation(q, g)
+	if len(matches) == 0 {
+		return nil
+	}
+	bestIdx, bestSize := 0, -1
+	for i, m := range matches {
+		size := len(m.Nodes())
+		if bestSize < 0 || size < bestSize {
+			bestIdx, bestSize = i, size
+		}
+	}
+	return assignmentFromSets(q, g, matches[bestIdx].MatchSets)
+}
+
+// assignmentFromSets builds an injective top-1 assignment from match sets
+// using a weighted greedy matching (weight = degree affinity).
+func assignmentFromSets(q, g *graph.Graph, sets [][]graph.NodeID) *Match {
+	var edges []matching.Edge
+	for qn, set := range sets {
+		for _, d := range set {
+			edges = append(edges, matching.Edge{I: qn, J: int(d), W: degreeAffinity(q, graph.NodeID(qn), g, d)})
+		}
+	}
+	picked, total := matching.Greedy(edges)
+	assign := make([]graph.NodeID, q.NumNodes())
+	for i := range assign {
+		assign[i] = -1
+	}
+	for _, e := range picked {
+		assign[e.I] = graph.NodeID(e.J)
+	}
+	return &Match{Assignment: assign, Score: total}
+}
+
+// degreeAffinity scores how closely the degrees of a data node track the
+// query node's (1 = identical). Extraction preserves at most the query's
+// degrees, so true positions score near 1.
+func degreeAffinity(q *graph.Graph, qn graph.NodeID, g *graph.Graph, d graph.NodeID) float64 {
+	f := func(a, b int) float64 {
+		if a == 0 && b == 0 {
+			return 1
+		}
+		min, max := a, b
+		if min > max {
+			min, max = max, min
+		}
+		if max == 0 {
+			return 1
+		}
+		return float64(min+1) / float64(max+1)
+	}
+	return (f(q.OutDegree(qn), g.OutDegree(d)) + f(q.InDegree(qn), g.InDegree(d))) / 2
+}

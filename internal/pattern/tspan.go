@@ -1,0 +1,143 @@
+package pattern
+
+import (
+	"fmt"
+
+	"fsim/internal/graph"
+)
+
+// TSpanMatcher is the edit-distance baseline: it enumerates complete
+// embeddings of the query that may miss up to Budget edges, following
+// TSpan's "similarity all-matching with up to x mismatched edges". Node
+// labels must match exactly — which is why the original reports no results
+// under label noise (Table 6's "-" cells): a relabeled query node usually
+// has no same-label candidate region that completes an embedding.
+type TSpanMatcher struct {
+	// Budget is the x of TSpan-x: the number of query edges allowed to be
+	// missing in the data graph.
+	Budget int
+	// MaxStates caps the backtracking search; 0 means the default 200k.
+	MaxStates int
+}
+
+// Name implements Matcher.
+func (m *TSpanMatcher) Name() string { return fmt.Sprintf("TSpan-%d", m.Budget) }
+
+// Match implements Matcher.
+func (m *TSpanMatcher) Match(q, g *graph.Graph) *Match {
+	maxStates := m.MaxStates
+	if maxStates == 0 {
+		maxStates = 200000
+	}
+	nq := q.NumNodes()
+	if nq == 0 {
+		return nil
+	}
+
+	// Candidate index: data nodes per label name.
+	byLabel := map[string][]graph.NodeID{}
+	for v := 0; v < g.NumNodes(); v++ {
+		name := g.NodeLabelName(graph.NodeID(v))
+		byLabel[name] = append(byLabel[name], graph.NodeID(v))
+	}
+
+	order := connectivityOrder(q)
+	assign := make([]graph.NodeID, nq)
+	for i := range assign {
+		assign[i] = -1
+	}
+	used := make(map[graph.NodeID]bool, nq)
+
+	var best []graph.NodeID
+	bestMissed := m.Budget + 1
+	states := 0
+
+	var dfs func(pos, missed int)
+	dfs = func(pos, missed int) {
+		if states >= maxStates || bestMissed == 0 {
+			return
+		}
+		states++
+		if pos == len(order) {
+			if missed < bestMissed {
+				bestMissed = missed
+				best = append(best[:0], assign...)
+			}
+			return
+		}
+		qn := order[pos]
+		for _, c := range byLabel[q.NodeLabelName(qn)] {
+			if used[c] {
+				continue
+			}
+			// Count query edges between qn and already-assigned nodes that
+			// the data graph does not realize under this candidate.
+			miss := 0
+			for _, qv := range q.Out(qn) {
+				if d := assign[qv]; d >= 0 && !g.HasEdge(c, d) {
+					miss++
+				}
+			}
+			for _, qv := range q.In(qn) {
+				if d := assign[qv]; d >= 0 && !g.HasEdge(d, c) {
+					miss++
+				}
+			}
+			if missed+miss >= bestMissed || missed+miss > m.Budget {
+				continue
+			}
+			assign[qn] = c
+			used[c] = true
+			dfs(pos+1, missed+miss)
+			used[c] = false
+			assign[qn] = -1
+		}
+	}
+	dfs(0, 0)
+	if best == nil {
+		return nil
+	}
+	return &Match{Assignment: best, Score: float64(m.Budget - bestMissed)}
+}
+
+// connectivityOrder returns the query nodes in a BFS order from the
+// highest-degree node, so each later node connects to the assigned prefix
+// whenever the query is connected (the standard backtracking order).
+func connectivityOrder(q *graph.Graph) []graph.NodeID {
+	n := q.NumNodes()
+	start := graph.NodeID(0)
+	bestDeg := -1
+	for u := 0; u < n; u++ {
+		if d := q.OutDegree(graph.NodeID(u)) + q.InDegree(graph.NodeID(u)); d > bestDeg {
+			bestDeg = d
+			start = graph.NodeID(u)
+		}
+	}
+	seen := make([]bool, n)
+	order := make([]graph.NodeID, 0, n)
+	queue := []graph.NodeID{start}
+	seen[start] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range q.Out(u) {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+		for _, v := range q.In(u) {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	for u := 0; u < n; u++ { // disconnected leftovers, if any
+		if !seen[u] {
+			order = append(order, graph.NodeID(u))
+		}
+	}
+	return order
+}

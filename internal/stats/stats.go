@@ -1,0 +1,139 @@
+// Package stats provides the evaluation statistics used throughout the
+// paper's §5: Pearson's correlation coefficient (sensitivity analysis),
+// nDCG (node-similarity ranking quality), F1 (pattern matching and graph
+// alignment), and top-k selection helpers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Pearson returns Pearson's correlation coefficient of the paired samples
+// x and y. It returns 0 when either sample has zero variance or the slices
+// differ in length or are empty (matching the "uncorrelated" convention the
+// sensitivity plots rely on).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 && vy == 0 {
+		// Two constant vectors: perfectly correlated when identical
+		// (needed when comparing two runs that both converge to the same
+		// constant scores), uncorrelated otherwise.
+		for i := range x {
+			if x[i] != y[i] {
+				return 0
+			}
+		}
+		return 1
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// DCG returns the discounted cumulative gain of a relevance list in ranked
+// order, using the standard log2 discount: Σ relᵢ / log2(i+2).
+func DCG(rels []float64) float64 {
+	dcg := 0.0
+	for i, r := range rels {
+		dcg += r / math.Log2(float64(i)+2)
+	}
+	return dcg
+}
+
+// NDCG returns DCG(rels) normalized by the DCG of the ideal (descending)
+// ordering of the same relevance multiset; 0 when all relevances are 0.
+func NDCG(rels []float64) float64 {
+	ideal := append([]float64(nil), rels...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	idcg := DCG(ideal)
+	if idcg == 0 {
+		return 0
+	}
+	return DCG(rels) / idcg
+}
+
+// F1 combines precision and recall; it returns 0 when both are 0.
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// Ranked pairs an item index with its score for top-k selection.
+type Ranked struct {
+	Index int
+	Score float64
+}
+
+// TopK returns the k highest-scoring indices in descending score order,
+// breaking ties by ascending index for determinism. k larger than the input
+// is clamped.
+func TopK(scores []float64, k int) []Ranked {
+	all := make([]Ranked, len(scores))
+	for i, s := range scores {
+		all[i] = Ranked{Index: i, Score: s}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Score != all[b].Score {
+			return all[a].Score > all[b].Score
+		}
+		return all[a].Index < all[b].Index
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// ArgMaxSet returns every index attaining the maximum score (used by the
+// alignment case study, where Au = argmax_v FSim(u, v) may be a set), or
+// nil for an empty input.
+func ArgMaxSet(scores []float64) []int {
+	if len(scores) == 0 {
+		return nil
+	}
+	best := math.Inf(-1)
+	for _, s := range scores {
+		if s > best {
+			best = s
+		}
+	}
+	var out []int
+	for i, s := range scores {
+		if s == best {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
