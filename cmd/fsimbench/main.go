@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	fsimbench [-quick] [-threads N] [-seed S] <experiment|all> [more experiments...]
+//	fsimbench [-quick] [-threads N] [-seed S] [-jsondir DIR] <experiment|all> [more experiments...]
 //
 // Experiments: table2 table5 fig4 fig5 fig6 fig7 fig8 fig9 table6 table7
-// table8 table9 (see DESIGN.md §4 for the experiment index).
+// table8 table9 delta (see DESIGN.md §4 for the experiment index). The
+// delta experiment additionally writes BENCH_delta.json — the
+// iteration-by-iteration active-pair trajectories of worklist-driven delta
+// convergence — into -jsondir.
 package main
 
 import (
@@ -22,8 +25,9 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced workloads (smoke-test sizes)")
 	threads := flag.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 0, "seed offset for all generators")
+	jsondir := flag.String("jsondir", "", "directory for JSON artifacts such as BENCH_delta.json (default: working directory)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fsimbench [-quick] [-threads N] [-seed S] <experiment|all>...\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: fsimbench [-quick] [-threads N] [-seed S] [-jsondir DIR] <experiment|all>...\n\nexperiments:\n")
 		for _, e := range experiments.Registry() {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Desc)
 		}
@@ -38,6 +42,7 @@ func main() {
 		Quick:   *quick,
 		Threads: *threads,
 		Seed:    *seed,
+		JSONDir: *jsondir,
 	}
 	for _, id := range flag.Args() {
 		start := time.Now()

@@ -25,6 +25,28 @@
 //	res, err := fsim.Compute(g, g, fsim.DefaultOptions(fsim.BJ))
 //	score := res.Score(u, u) // 1.0
 //
+// # Convergence modes
+//
+// Compute iterates Equation 3 to its fixed point under one of two
+// strategies. The default recomputes every candidate pair each round and
+// stops when the maximum score change drops below Options.Epsilon. Setting
+// Options.DeltaMode enables worklist-driven delta convergence: pairs whose
+// score change falls to Options.DeltaEps or below are marked stable, and a
+// pair re-enters the worklist only when a pair its update actually reads —
+// a neighbor pair under the reverse candidate adjacency — changed, so
+// later rounds touch only the active frontier.
+//
+// With DeltaEps = 0 (the default) delta mode is exact: it skips precisely
+// the pairs whose inputs are unchanged and produces bit-identical scores
+// to the full strategy, at a modest bookkeeping cost. A small positive
+// DeltaEps (e.g. 1e-4) freezes pairs that have effectively stopped moving,
+// collapsing the frontier and cutting wall-clock time substantially at the
+// price of a bounded score perturbation (on the order of
+// DeltaEps·(w⁺+w⁻)/(1−w⁺−w⁻) for the monotonically converging variants).
+// Use delta mode for large graphs with tight epsilons, where most pairs
+// stabilize rounds before the slowest ones; Result.ActivePairs records the
+// per-iteration worklist sizes so the saving is observable.
+//
 // Exact ("yes-or-no") χ-simulation checks, strong simulation,
 // k-bisimulation signatures and the WL test live alongside the fractional
 // framework; SimRank and RoleSim are available as framework presets

@@ -1,0 +1,3 @@
+module fsim
+
+go 1.21

@@ -30,6 +30,11 @@ func (b bitset) count() (total int) {
 	}
 	return
 }
+func (b bitset) clearAll() {
+	for i := range b {
+		b[i] = 0
+	}
+}
 
 // engine holds one computation's immutable configuration and mutable score
 // buffers (Algorithm 1's Hc / Hp). Two stores implement the candidate map:
@@ -63,6 +68,13 @@ type engine struct {
 	prunedUB  map[pairKey]float64 // sparse only, α > 0
 
 	prev, cur []float64
+
+	// Delta-mode worklist state (nil unless Options.DeltaMode). Slots are
+	// score-buffer indices: u·n2+v in dense mode, candidate position in
+	// sparse mode.
+	active     bitset  // slots to recompute this iteration
+	nextActive bitset  // slots reactivated by this iteration's dirty pairs
+	dirtyPer   [][]int // per-worker slots whose change exceeded DeltaEps
 
 	prunedCount int
 }
@@ -108,15 +120,20 @@ func Compute(g1, g2 *graph.Graph, opts Options) (*Result, error) {
 		prunedUB:    e.prunedUB,
 		PrunedCount: e.prunedCount,
 	}
-	if e.allPairs {
-		res.CandidateCount = e.n1 * e.n2
-	} else {
-		res.CandidateCount = len(e.candPairs)
-	}
+	res.CandidateCount = e.numCandidates()
 
+	if opts.DeltaMode {
+		e.initWorklist()
+	}
 	res.Work = make([]int64, opts.Threads)
 	for it := 1; it <= opts.MaxIters; it++ {
-		maxAbs, maxRel := e.iterate(res.Work)
+		var maxAbs, maxRel float64
+		if opts.DeltaMode {
+			res.ActivePairs = append(res.ActivePairs, e.active.count())
+			maxAbs, maxRel = e.iterateDelta(res.Work)
+		} else {
+			maxAbs, maxRel = e.iterate(res.Work)
+		}
 		res.Iterations = it
 		res.Deltas = append(res.Deltas, maxAbs)
 		e.prev, e.cur = e.cur, e.prev
@@ -129,6 +146,9 @@ func Compute(g1, g2 *graph.Graph, opts Options) (*Result, error) {
 		if done {
 			res.Converged = true
 			break
+		}
+		if opts.DeltaMode {
+			e.syncAndAdvance()
 		}
 	}
 	res.scores = e.prev // latest completed iteration after the final swap
@@ -266,6 +286,50 @@ func (e *engine) initScores() {
 	}
 }
 
+// updateState is one worker's reusable per-iteration context: operator
+// scratch, score accessors and running extrema. Both iteration strategies
+// (full and delta) update pairs through updateSlot so their per-pair
+// arithmetic is identical by construction.
+type updateState struct {
+	scratch  *opScratch
+	lookup   func(x, y graph.NodeID) float64
+	eligible func(x, y graph.NodeID) bool
+	work     int64
+	maxAbs   float64
+	maxRel   float64
+}
+
+func (e *engine) newUpdateState() *updateState {
+	return &updateState{scratch: newOpScratch(), lookup: e.lookupFunc(), eligible: e.eligibleFn()}
+}
+
+// updateSlot recomputes pair (u, v) into cur[i] (Lines 5–8 of Algorithm 1)
+// and returns the absolute score change.
+func (e *engine) updateSlot(st *updateState, u, v graph.NodeID, i int) float64 {
+	s := e.updatePair(u, v, st.eligible, st.lookup, st.scratch)
+	st.work += int64(e.g1.OutDegree(u))*int64(e.g2.OutDegree(v)) +
+		int64(e.g1.InDegree(u))*int64(e.g2.InDegree(v)) + 1
+	if damping := e.opts.Damping; damping > 0 {
+		s = damping*e.prev[i] + (1-damping)*s
+	}
+	e.cur[i] = s
+	d := s - e.prev[i]
+	if d < 0 {
+		d = -d
+	}
+	if d > st.maxAbs {
+		st.maxAbs = d
+	}
+	if p := e.prev[i]; p > 0 {
+		if r := d / p; r > st.maxRel {
+			st.maxRel = r
+		}
+	} else if d > 0 {
+		st.maxRel = 1 // score appeared from zero: not converged
+	}
+	return d
+}
+
 // iterate runs one synchronous update of every candidate pair (Lines 4–9 of
 // Algorithm 1), sharding pairs round-robin over the configured workers. It
 // returns the maximum absolute and relative score changes.
@@ -278,50 +342,22 @@ func (e *engine) iterate(work []int64) (maxAbs, maxRel float64) {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			scratch := newOpScratch()
-			lookup := e.lookupFunc()
-			eligible := e.eligibleFn()
-			var localWork int64
-			var localAbs, localRel float64
-			damping := e.opts.Damping
-			update := func(u, v graph.NodeID, i int) {
-				s := e.updatePair(u, v, eligible, lookup, scratch)
-				localWork += int64(e.g1.OutDegree(u))*int64(e.g2.OutDegree(v)) +
-					int64(e.g1.InDegree(u))*int64(e.g2.InDegree(v)) + 1
-				if damping > 0 {
-					s = damping*e.prev[i] + (1-damping)*s
-				}
-				e.cur[i] = s
-				d := s - e.prev[i]
-				if d < 0 {
-					d = -d
-				}
-				if d > localAbs {
-					localAbs = d
-				}
-				if p := e.prev[i]; p > 0 {
-					if r := d / p; r > localRel {
-						localRel = r
-					}
-				} else if d > 0 {
-					localRel = 1 // score appeared from zero: not converged
-				}
-			}
+			st := e.newUpdateState()
 			if e.allPairs { // dense over the full universe
 				for u := t; u < e.n1; u += threads {
 					for v := 0; v < e.n2; v++ {
-						update(graph.NodeID(u), graph.NodeID(v), u*e.n2+v)
+						e.updateSlot(st, graph.NodeID(u), graph.NodeID(v), u*e.n2+v)
 					}
 				}
 			} else {
 				for pos := t; pos < len(e.candPairs); pos += threads {
 					u, v := e.candPairs[pos].split()
-					update(u, v, e.scoreIndex(pos))
+					e.updateSlot(st, u, v, e.scoreIndex(pos))
 				}
 			}
-			absPer[t] = localAbs
-			relPer[t] = localRel
-			work[t] += localWork
+			absPer[t] = st.maxAbs
+			relPer[t] = st.maxRel
+			work[t] += st.work
 		}(t)
 	}
 	wg.Wait()
@@ -334,6 +370,165 @@ func (e *engine) iterate(work []int64) (maxAbs, maxRel float64) {
 		}
 	}
 	return maxAbs, maxRel
+}
+
+// numSlots is the worklist bitset span: one bit per score-buffer entry.
+func (e *engine) numSlots() int {
+	if e.dense {
+		return e.n1 * e.n2
+	}
+	return len(e.candPairs)
+}
+
+// numCandidates is |Hc|, the number of maintained pairs.
+func (e *engine) numCandidates() int {
+	if e.allPairs {
+		return e.n1 * e.n2
+	}
+	return len(e.candPairs)
+}
+
+// slotPair decodes a worklist slot back into its node pair.
+func (e *engine) slotPair(slot int) (graph.NodeID, graph.NodeID) {
+	if e.dense {
+		return graph.NodeID(slot / e.n2), graph.NodeID(slot % e.n2)
+	}
+	return e.candPairs[slot].split()
+}
+
+// initWorklist seeds delta mode. It establishes the two invariants the
+// strategy maintains between iterations: both score buffers agree at every
+// slot (so skipped pairs keep their value through the swap), and the active
+// set covers every pair whose Equation 3 inputs may still change — which at
+// the start is the entire candidate map, exactly like iteration 1 of the
+// full strategy.
+func (e *engine) initWorklist() {
+	copy(e.cur, e.prev)
+	slots := e.numSlots()
+	e.active = newBitset(slots)
+	e.nextActive = newBitset(slots)
+	e.dirtyPer = make([][]int, e.opts.Threads)
+	e.markAll(e.active)
+}
+
+// markAll sets every candidate slot of b.
+func (e *engine) markAll(b bitset) {
+	if e.dense && !e.allPairs {
+		copy(b, e.candBits)
+		return
+	}
+	slots := e.numSlots()
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if rem := slots % 64; rem != 0 {
+		b[len(b)-1] = uint64(1)<<uint(rem) - 1
+	}
+}
+
+// iterateDelta runs one synchronous update of the active worklist only,
+// sharding bitset words round-robin over the configured workers. Each
+// worker records the slots whose change exceeded DeltaEps into its own
+// dirty set; syncAndAdvance merges them after the barrier. Inactive pairs
+// are untouched: their buffered scores are, by the worklist invariant,
+// already the value a recomputation would produce (bit-identical when
+// DeltaEps = 0), so both the scores and the returned extrema match the
+// full strategy.
+func (e *engine) iterateDelta(work []int64) (maxAbs, maxRel float64) {
+	threads := e.opts.Threads
+	absPer := make([]float64, threads)
+	relPer := make([]float64, threads)
+	eps := e.opts.DeltaEps
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			st := e.newUpdateState()
+			dirty := e.dirtyPer[t][:0]
+			for w := t; w < len(e.active); w += threads {
+				for word := e.active[w]; word != 0; word &= word - 1 {
+					slot := w*64 + bits.TrailingZeros64(word)
+					u, v := e.slotPair(slot)
+					if d := e.updateSlot(st, u, v, slot); d > eps {
+						dirty = append(dirty, slot)
+					}
+				}
+			}
+			e.dirtyPer[t] = dirty
+			absPer[t] = st.maxAbs
+			relPer[t] = st.maxRel
+			work[t] += st.work
+		}(t)
+	}
+	wg.Wait()
+	for t := 0; t < threads; t++ {
+		if absPer[t] > maxAbs {
+			maxAbs = absPer[t]
+		}
+		if relPer[t] > maxRel {
+			maxRel = relPer[t]
+		}
+	}
+	return maxAbs, maxRel
+}
+
+// markPair puts a candidate pair on the next worklist; non-candidates
+// (ineligible or pruned) hold constant stand-ins and are never recomputed.
+func (e *engine) markPair(u, v graph.NodeID) {
+	if e.dense {
+		i := int(u)*e.n2 + int(v)
+		if e.allPairs || e.candBits.get(i) {
+			e.nextActive.set(i)
+		}
+		return
+	}
+	if pos, ok := e.index[makeKey(u, v)]; ok {
+		e.nextActive.set(int(pos))
+	}
+}
+
+// syncAndAdvance runs between delta iterations, after the buffer swap. It
+// restores the buffer-agreement invariant (cur[i] = prev[i] at every slot
+// the iteration recomputed) and builds the next worklist by propagating the
+// merged per-worker dirty sets through the reverse candidate adjacency: a
+// pair re-enters the worklist only when a pair its Equation 3 value reads
+// has changed. Under damping a dirty pair also re-enters on its own — its
+// next value mixes in its own previous score, so it keeps moving even when
+// its neighbors are at rest.
+func (e *engine) syncAndAdvance() {
+	for w, word := range e.active {
+		for ; word != 0; word &= word - 1 {
+			slot := w*64 + bits.TrailingZeros64(word)
+			e.cur[slot] = e.prev[slot]
+		}
+	}
+	dirtyTotal := 0
+	for _, dirty := range e.dirtyPer {
+		dirtyTotal += len(dirty)
+	}
+	if 4*dirtyTotal >= e.numCandidates() {
+		// Most of the map changed: enumerating reverse adjacency would
+		// cost as much as the updates it schedules, and its union is
+		// (nearly) everything anyway. Reactivating all candidates is a
+		// superset of the precise frontier, so exactness is unaffected;
+		// precise propagation resumes once the dirty set thins out.
+		e.markAll(e.nextActive)
+	} else {
+		mark := e.markPair
+		damping := e.opts.Damping
+		for _, dirty := range e.dirtyPer {
+			for _, slot := range dirty {
+				x, y := e.slotPair(slot)
+				forEachDependent(e.g1, e.g2, x, y, e.opts.WPlus, e.opts.WMinus, mark)
+				if damping > 0 {
+					e.nextActive.set(slot)
+				}
+			}
+		}
+	}
+	e.active, e.nextActive = e.nextActive, e.active
+	e.nextActive.clearAll()
 }
 
 // lookupFunc returns the previous-iteration score accessor used by the

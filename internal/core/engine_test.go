@@ -291,6 +291,197 @@ func TestStoreEquivalence(t *testing.T) {
 	}
 }
 
+// TestDeltaEquivalenceProperty is the delta-mode correctness property over
+// ~50 seeded random graph pairs: for every variant, worklist-driven delta
+// convergence must reproduce the full-iteration scores — bit-identically at
+// DeltaEps = 0 (skipped pairs are exactly those whose inputs are unchanged)
+// and within 1e-9 at a small positive DeltaEps — and the dense and sparse
+// stores must agree with each other under delta mode.
+func TestDeltaEquivalenceProperty(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		n1 := 10 + int(seed%7)
+		n2 := 12 + int(seed%5)
+		g1 := dataset.RandomGraph(seed*100+1, n1, 3*n1, 3)
+		g2 := dataset.RandomGraph(seed*100+2, n2, 3*n2, 3)
+		variant := exact.Variants[seed%4]
+
+		full := DefaultOptions(variant)
+		full.Epsilon = 1e-8
+		full.RelativeEps = false
+		// Exercise the label constraint and pruning paths on a slice of
+		// the seeds so delta mode is checked against every store shape.
+		if seed%3 == 1 {
+			full.Theta = 0.5
+		}
+		if seed%5 == 2 {
+			full.UpperBoundOpt = &UpperBound{Alpha: 0.3, Beta: 0.4}
+		}
+		rf, err := Compute(g1, g2, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		exactDelta := full
+		exactDelta.DeltaMode = true
+		rd, err := Compute(g1, g2, exactDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd.Iterations != rf.Iterations || rd.Converged != rf.Converged {
+			t.Fatalf("seed %d variant %v: delta mode changed convergence: %d/%v vs %d/%v",
+				seed, variant, rd.Iterations, rd.Converged, rf.Iterations, rf.Converged)
+		}
+		if len(rd.ActivePairs) == 0 || rd.ActivePairs[0] != rd.CandidateCount {
+			t.Fatalf("seed %d variant %v: first round must be full: active %v, candidates %d",
+				seed, variant, rd.ActivePairs, rd.CandidateCount)
+		}
+
+		approxDelta := full
+		approxDelta.DeltaMode = true
+		approxDelta.DeltaEps = 1e-10
+		ra, err := Compute(g1, g2, approxDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sparseDelta := exactDelta
+		sparseDelta.DenseCapPairs = 1 // force the hash-map store
+		rs, err := Compute(g1, g2, sparseDelta)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rf.ForEach(func(u, v graph.NodeID, s float64) {
+			if s2 := rd.Score(u, v); s2 != s {
+				t.Fatalf("seed %d variant %v: exact delta mode diverged at (%d,%d): %v vs %v",
+					seed, variant, u, v, s2, s)
+			}
+			if s2 := ra.Score(u, v); math.Abs(s2-s) > 1e-9 {
+				t.Fatalf("seed %d variant %v: DeltaEps=1e-10 drifted at (%d,%d): %v vs %v",
+					seed, variant, u, v, s2, s)
+			}
+			if s2 := rs.Score(u, v); math.Abs(s2-s) > 1e-9 {
+				t.Fatalf("seed %d variant %v: sparse delta store disagreed at (%d,%d): %v vs %v",
+					seed, variant, u, v, s2, s)
+			}
+		})
+	}
+}
+
+// TestDeltaFrontierShrinks pins the point of the worklist strategy: with a
+// meaningful stability threshold the per-iteration active-pair counts must
+// fall well below the candidate map in the later iterations, as pairs whose
+// scores stopped moving freeze and stop reactivating their dependents.
+func TestDeltaFrontierShrinks(t *testing.T) {
+	g := dataset.RandomGraph(41, 60, 180, 4)
+	for _, variant := range exact.Variants {
+		opts := DefaultOptions(variant)
+		opts.Epsilon = 1e-6
+		opts.RelativeEps = false
+		opts.DeltaMode = true
+		opts.DeltaEps = 1e-4
+		// The greedy matching of the injective variants oscillates above
+		// DeltaEps on a large pair core (TestGreedyOscillationBounded), so
+		// those pairs legitimately never freeze; exact matching restores
+		// monotone convergence and with it a collapsing frontier.
+		ops := OperatorsFor(variant)
+		ops.ExactMatching = true
+		opts.Operators = &ops
+		res, err := Compute(g, g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.ActivePairs) < 3 {
+			t.Fatalf("variant %v: run too short to observe a frontier: %v", variant, res.ActivePairs)
+		}
+		last := res.ActivePairs[len(res.ActivePairs)-1]
+		if last*2 >= res.CandidateCount {
+			t.Fatalf("variant %v: frontier never shrank: %v of %d candidates",
+				variant, res.ActivePairs, res.CandidateCount)
+		}
+	}
+}
+
+// TestDeltaDampingEquivalence covers the self-reactivation rule: with
+// damping a dirty pair depends on its own previous score, so it must stay
+// on the worklist until it stops moving.
+func TestDeltaDampingEquivalence(t *testing.T) {
+	g1 := dataset.RandomGraph(51, 25, 75, 3)
+	g2 := dataset.RandomGraph(52, 25, 75, 3)
+	for _, variant := range []exact.Variant{exact.DP, exact.BJ} {
+		opts := DefaultOptions(variant)
+		opts.Epsilon = 1e-8
+		opts.RelativeEps = false
+		opts.Damping = 0.5
+		rf, err := Compute(g1, g2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := opts
+		delta.DeltaMode = true
+		rd, err := Compute(g1, g2, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf.ForEach(func(u, v graph.NodeID, s float64) {
+			if s2 := rd.Score(u, v); s2 != s {
+				t.Fatalf("variant %v damping: delta diverged at (%d,%d): %v vs %v", variant, u, v, s2, s)
+			}
+		})
+	}
+}
+
+// TestDeltaThreadDeterminism extends the determinism guarantee to the
+// worklist strategy: word-sharded frontiers must give identical scores at
+// any thread count.
+func TestDeltaThreadDeterminism(t *testing.T) {
+	g1 := dataset.RandomGraph(61, 40, 130, 4)
+	g2 := dataset.RandomGraph(62, 45, 150, 4)
+	for _, variant := range exact.Variants {
+		base := DefaultOptions(variant)
+		base.DeltaMode = true
+		base.Threads = 1
+		r1, err := Compute(g1, g2, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi := base
+		multi.Threads = 7
+		r2, err := Compute(g1, g2, multi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1.ForEach(func(u, v graph.NodeID, s float64) {
+			if s2 := r2.Score(u, v); s2 != s {
+				t.Fatalf("variant %v: thread count changed delta FSim(%d,%d): %v vs %v", variant, u, v, s, s2)
+			}
+		})
+		if len(r1.ActivePairs) != len(r2.ActivePairs) {
+			t.Fatalf("variant %v: thread count changed the frontier trajectory: %v vs %v",
+				variant, r1.ActivePairs, r2.ActivePairs)
+		}
+		for i := range r1.ActivePairs {
+			if r1.ActivePairs[i] != r2.ActivePairs[i] {
+				t.Fatalf("variant %v: active counts diverged at iteration %d: %v vs %v",
+					variant, i+1, r1.ActivePairs, r2.ActivePairs)
+			}
+		}
+	}
+}
+
+// TestDeltaEpsValidation pins the Options.normalize guard.
+func TestDeltaEpsValidation(t *testing.T) {
+	g := dataset.RandomGraph(71, 5, 10, 2)
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		opts := DefaultOptions(exact.S)
+		opts.DeltaMode = true
+		opts.DeltaEps = bad
+		if _, err := Compute(g, g, opts); err == nil {
+			t.Fatalf("DeltaEps=%v should be rejected", bad)
+		}
+	}
+}
+
 // TestThetaStoreEquivalence verifies dense-bitmap vs hash-map equivalence
 // under an active label constraint (θ > 0), where the two stores take
 // different eligibility paths (precomputed zeros vs per-element checks).

@@ -248,6 +248,32 @@ func (op *Operators) neighborScore(
 	return sum / op.omega(n1, n2)
 }
 
+// forEachDependent enumerates the pairs whose Equation 3 value reads
+// FSim(x, y) — the reverse adjacency of the delta worklist. Every mapping
+// operator (best, injective, bidirectional, product) consumes the full
+// previous-iteration score cross product of the neighbor sets it maps, so
+// the dependency structure is mapping-independent: (u, v) recomputes from
+// (x, y) iff x ∈ Out(u) ∧ y ∈ Out(v) (the w⁺ term; equivalently
+// u ∈ In(x) ∧ v ∈ In(y)) or x ∈ In(u) ∧ y ∈ In(v) (the w⁻ term). A
+// direction with zero weight contributes nothing to Equation 3 and is
+// skipped.
+func forEachDependent(g1, g2 *graph.Graph, x, y graph.NodeID, wplus, wminus float64, mark func(u, v graph.NodeID)) {
+	if wplus > 0 {
+		for _, u := range g1.In(x) {
+			for _, v := range g2.In(y) {
+				mark(u, v)
+			}
+		}
+	}
+	if wminus > 0 {
+		for _, u := range g1.Out(x) {
+			for _, v := range g2.Out(y) {
+				mark(u, v)
+			}
+		}
+	}
+}
+
 // bestSum is Σ_{x∈s1} max_{y∈s2, eligible} lookup(x, y); an x with no
 // eligible partner contributes 0. A nil eligible admits every pair.
 func bestSum(s1, s2 []graph.NodeID, eligible func(x, y graph.NodeID) bool, lookup func(x, y graph.NodeID) float64) float64 {

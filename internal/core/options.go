@@ -98,6 +98,26 @@ type Options struct {
 	// g1 == g2 shape); SimRank's fixed self-similarity uses this.
 	PinDiagonal bool
 
+	// DeltaMode enables worklist-driven delta convergence: after the first
+	// full round, a pair is recomputed only while it is on the active
+	// worklist. A pair whose score changed by more than DeltaEps is dirty,
+	// and dirtiness propagates through the reverse candidate adjacency — a
+	// pair (u, v) re-enters the worklist only when some pair (x, y) with
+	// x ∈ N(u), y ∈ N(v) changed — so later iterations touch only the
+	// active frontier instead of the full candidate map. With DeltaEps = 0
+	// (the default) the mode is exact: skipped pairs are precisely those
+	// whose Equation 3 inputs are unchanged, so every iteration produces
+	// bit-identical scores to the full recomputation. Off by default.
+	DeltaMode bool
+
+	// DeltaEps is the stability threshold of DeltaMode: a recomputed pair
+	// whose absolute score change is ≤ DeltaEps is treated as stable and
+	// does not reactivate its dependents. 0 (the default) propagates every
+	// change and preserves the exact fixed-point semantics; small positive
+	// values (e.g. 1e-6) trade a bounded score perturbation for a smaller
+	// frontier. Must lie in [0, 1); ignored when DeltaMode is off.
+	DeltaEps float64
+
 	// Damping mixes each update with the previous score:
 	// FSimᵏ ← Damping·FSimᵏ⁻¹ + (1−Damping)·update. Zero (the default)
 	// is the paper's plain iteration. The greedy matching heuristic of the
@@ -138,6 +158,9 @@ func (o *Options) normalize() error {
 	}
 	if o.Damping < 0 || o.Damping >= 1 {
 		return fmt.Errorf("core: damping must be in [0,1), got %v", o.Damping)
+	}
+	if o.DeltaEps < 0 || o.DeltaEps >= 1 {
+		return fmt.Errorf("core: delta epsilon must be in [0,1), got %v", o.DeltaEps)
 	}
 	if o.Label == nil {
 		o.Label = strsim.JaroWinkler

@@ -28,6 +28,9 @@ type Config struct {
 	Threads int
 	// Seed offsets all generators; 0 keeps the defaults.
 	Seed int64
+	// JSONDir receives machine-readable artifacts (BENCH_delta.json);
+	// "" means the working directory.
+	JSONDir string
 }
 
 func (c Config) out() io.Writer {
@@ -64,6 +67,7 @@ func Registry() []struct {
 		{"table7", "top-5 similar venues for WWW", Table7},
 		{"table8", "nDCG of node similarity algorithms", Table8},
 		{"table9", "graph alignment F1", Table9},
+		{"delta", "worklist delta convergence vs full recomputation", Delta},
 	}
 }
 

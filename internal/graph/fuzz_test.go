@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead fuzzes the "n <label>" / "e <u> <v>" text parser with untrusted
+// input. The parser must never panic; on accepted input the graph must be
+// internally consistent and survive a Write → Read round trip with the
+// same shape. `go test` runs the seed corpus below, so this doubles as a
+// malformed-input regression suite in CI.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		// The canonical format, as produced by Write.
+		"# fsim graph\nn person\nn post\ne 0 1\n",
+		"n a\nn b\nn c\ne 0 1\ne 1 2\ne 2 0\n",
+		// Labels with spaces, an empty label, a comment-like label.
+		"n hello world\nn\nn # not a comment\ne 0 2\n",
+		// Whitespace and blank-line tolerance.
+		"\n\n  n x  \n\tn y\t\n e 0 1 \n",
+		// Malformed inputs the parser must reject cleanly.
+		"e 0 1\n",             // edge before any node
+		"n a\ne 0\n",          // missing endpoint
+		"n a\ne 0 1 2\n",      // extra endpoint
+		"n a\ne zero one\n",   // non-numeric endpoints
+		"n a\ne -1 0\n",       // negative id
+		"n a\ne 0 99\n",       // out-of-range id
+		"v 0 1\n",             // unknown directive
+		"n a\ne 0 0\ne 0 0\n", // duplicate self-loop
+		"n a\nn b\ne 1 0\ne 1 0\ne 0 1\n",
+		strings.Repeat("n q\n", 50) + "e 49 0\ne 3 17\n",
+		"n \x00weird\ne 0 0\n", // control bytes in a label
+		"# only a comment\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted graphs must be internally consistent...
+		n := g.NumNodes()
+		seen := 0
+		g.Edges(func(u, v NodeID) bool {
+			if int(u) < 0 || int(u) >= n || int(v) < 0 || int(v) >= n {
+				t.Fatalf("edge (%d,%d) out of range for %d nodes", u, v, n)
+			}
+			seen++
+			return true
+		})
+		if seen != g.NumEdges() {
+			t.Fatalf("Edges visited %d of %d edges", seen, g.NumEdges())
+		}
+		// ...and round-trip through the writer with the same shape.
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatalf("Write failed on accepted graph: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ninput: %q\nwritten: %q", err, data, buf.String())
+		}
+		if g2.NumNodes() != n || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d nodes/%d edges -> %d/%d",
+				n, g.NumEdges(), g2.NumNodes(), g2.NumEdges())
+		}
+		for u := 0; u < n; u++ {
+			if g.NodeLabelName(NodeID(u)) != g2.NodeLabelName(NodeID(u)) {
+				t.Fatalf("round trip changed label of node %d: %q -> %q",
+					u, g.NodeLabelName(NodeID(u)), g2.NodeLabelName(NodeID(u)))
+			}
+		}
+	})
+}
