@@ -174,6 +174,71 @@ func BenchmarkDeltaConvergence(b *testing.B) {
 	}
 }
 
+// servingOptions is the query-serving configuration shared by
+// BenchmarkComputeFull and BenchmarkTopK: the Remark 2 label constraint
+// plus §3.4 upper-bound pruning thin the candidate map, which is where
+// localized queries pay off (BENCH_topk.json records the full sweep,
+// including the θ = 0 worst case).
+func servingOptions() Options {
+	opts := DefaultOptions(BJ)
+	opts.Threads = 1
+	opts.Theta = 0.6
+	opts.UpperBoundOpt = &core.UpperBound{Alpha: 0.3, Beta: 0.5}
+	return opts
+}
+
+// BenchmarkComputeFull is the brute-force baseline of the query subsystem:
+// one full all-pairs fixed point at the serving configuration.
+func BenchmarkComputeFull(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(g, g, servingOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopK measures one TopK(u, 10) query against a prebuilt shared
+// Index at the serving configuration — the per-query cost a serving system
+// pays after amortizing NewIndex. Compare ns/op with BenchmarkComputeFull
+// for the query-vs-batch speedup.
+func BenchmarkTopK(b *testing.B) {
+	g := benchGraph()
+	ix, err := NewIndex(g, g, servingOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NodeID((i * 97) % g.NumNodes())
+		if _, err := ix.TopK(u, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuerySinglePair measures one Query(u, v) score lookup against a
+// prebuilt shared Index at the serving configuration.
+func BenchmarkQuerySinglePair(b *testing.B) {
+	g := benchGraph()
+	ix, err := NewIndex(g, g, servingOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NodeID((i * 97) % g.NumNodes())
+		v := NodeID((i * 31) % g.NumNodes())
+		if _, err := ix.Query(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExactSimulation times the maximal-relation fixpoint per variant
 // (the "yes-or-no" substrate the fractional scores are validated against).
 func BenchmarkExactSimulation(b *testing.B) {

@@ -1,0 +1,160 @@
+package fsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoGraphs builds a small valid graph pair for the error-path tables.
+func twoGraphs() (*Graph, *Graph) {
+	b1 := NewBuilder()
+	u := b1.AddNode("a")
+	b1.MustAddEdge(u, b1.AddNode("b"))
+	b2 := NewBuilder()
+	v := b2.AddNode("a")
+	b2.MustAddEdge(v, b2.AddNode("b"))
+	b2.AddNode("c")
+	return b1.Build(), b2.Build()
+}
+
+// TestParseVariantErrors tables the rejected variant spellings alongside
+// the accepted ones.
+func TestParseVariantErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Variant
+		wantErr bool
+	}{
+		{"s", S, false},
+		{"dp", DP, false},
+		{"b", B, false},
+		{"bj", BJ, false},
+		{"bijective", BJ, false},
+		{"", 0, true},
+		{"S", 0, true}, // spellings are case-sensitive
+		{"sj", 0, true},
+		{"bisim", 0, true},
+		{"degree preserving", 0, true},
+		{"all", 0, true},
+	}
+	for _, c := range cases {
+		v, err := ParseVariant(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseVariant(%q) = %v, want error", c.in, v)
+			}
+			continue
+		}
+		if err != nil || v != c.want {
+			t.Errorf("ParseVariant(%q) = %v, %v, want %v", c.in, v, err, c.want)
+		}
+	}
+}
+
+// TestComputeAndNewIndexErrors tables the construction error paths shared
+// by Compute and NewIndex: nil graphs, mismatched graphs under
+// PinDiagonal, and out-of-range option values.
+func TestComputeAndNewIndexErrors(t *testing.T) {
+	g1, g2 := twoGraphs()
+	cases := []struct {
+		name    string
+		g1, g2  *Graph
+		mutate  func(*Options)
+		wantErr string
+	}{
+		{"nil g1", nil, g2, nil, "nil graph"},
+		{"nil g2", g1, nil, nil, "nil graph"},
+		{"both nil", nil, nil, nil, "nil graph"},
+		{"pin diagonal mismatched graphs", g1, g2,
+			func(o *Options) { o.PinDiagonal = true }, "PinDiagonal"},
+		{"negative weight", g1, g2,
+			func(o *Options) { o.WPlus = -0.1 }, "weighting"},
+		{"weights sum to 1", g1, g2,
+			func(o *Options) { o.WPlus, o.WMinus = 0.5, 0.5 }, "w+ + w-"},
+		{"theta out of range", g1, g2,
+			func(o *Options) { o.Theta = 1.5 }, "theta"},
+		{"damping out of range", g1, g2,
+			func(o *Options) { o.Damping = 1 }, "damping"},
+		{"delta eps out of range", g1, g2,
+			func(o *Options) { o.DeltaEps = -0.5 }, "delta"},
+		{"upper bound alpha", g1, g2,
+			func(o *Options) { o.UpperBoundOpt = &UpperBound{Alpha: 1, Beta: 0.5} }, "alpha"},
+		{"upper bound beta", g1, g2,
+			func(o *Options) { o.UpperBoundOpt = &UpperBound{Alpha: 0, Beta: 2} }, "beta"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opts := DefaultOptions(BJ)
+			if c.mutate != nil {
+				c.mutate(&opts)
+			}
+			if _, err := Compute(c.g1, c.g2, opts); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("Compute: err = %v, want mention of %q", err, c.wantErr)
+			}
+			if _, err := NewIndex(c.g1, c.g2, opts); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("NewIndex: err = %v, want mention of %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestIndexQueryErrors tables the per-query error paths: k ≤ 0 and
+// out-of-range node ids on both sides.
+func TestIndexQueryErrors(t *testing.T) {
+	g1, g2 := twoGraphs() // |V1| = 2, |V2| = 3
+	ix, err := NewIndex(g1, g2, DefaultOptions(BJ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topKCases := []struct {
+		name    string
+		u       NodeID
+		k       int
+		wantErr bool
+	}{
+		{"valid", 0, 1, false},
+		{"k zero", 0, 0, true},
+		{"k negative", 0, -3, true},
+		{"u negative", -1, 1, true},
+		{"u past end", 2, 1, true},
+		{"u far past end", 99, 1, true},
+		{"k larger than row is clamped", 1, 100, false},
+	}
+	for _, c := range topKCases {
+		t.Run("topk/"+c.name, func(t *testing.T) {
+			top, err := ix.TopK(c.u, c.k)
+			if c.wantErr {
+				if err == nil {
+					t.Errorf("TopK(%d,%d) = %v, want error", c.u, c.k, top)
+				}
+			} else if err != nil {
+				t.Errorf("TopK(%d,%d): unexpected error %v", c.u, c.k, err)
+			}
+		})
+	}
+
+	queryCases := []struct {
+		name    string
+		u, v    NodeID
+		wantErr bool
+	}{
+		{"valid", 0, 0, false},
+		{"v at g2 boundary is valid", 0, 2, false},
+		{"u negative", -1, 0, true},
+		{"v negative", 0, -1, true},
+		{"u out of range", 2, 0, true},
+		{"v out of range", 0, 3, true},
+	}
+	for _, c := range queryCases {
+		t.Run("query/"+c.name, func(t *testing.T) {
+			s, err := ix.Query(c.u, c.v)
+			if c.wantErr {
+				if err == nil {
+					t.Errorf("Query(%d,%d) = %v, want error", c.u, c.v, s)
+				}
+			} else if err != nil {
+				t.Errorf("Query(%d,%d): unexpected error %v", c.u, c.v, err)
+			}
+		})
+	}
+}

@@ -59,6 +59,39 @@ func ExampleMaximalSimulation() {
 	// bob: false
 }
 
+// ExampleIndex_TopK answers a top-k similarity query through the reusable
+// query index: the candidate structures are built once, then each query
+// runs a localized fixed point over only the pairs it can reach — without
+// materializing the all-pairs result a Compute call produces.
+func ExampleIndex_TopK() {
+	b := fsim.NewBuilder()
+	ada := b.AddNode("user")
+	b.MustAddEdge(ada, b.AddNode("item"))
+	b.MustAddEdge(ada, b.AddNode("item"))
+	twin := b.AddNode("user")
+	b.MustAddEdge(twin, b.AddNode("item"))
+	b.MustAddEdge(twin, b.AddNode("item"))
+	casual := b.AddNode("user")
+	b.MustAddEdge(casual, b.AddNode("item"))
+	g := b.Build()
+
+	ix, err := fsim.NewIndex(g, g, fsim.DefaultOptions(fsim.BJ))
+	if err != nil {
+		panic(err)
+	}
+	top, err := ix.TopK(ada, 3) // who best simulates ada?
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range top {
+		fmt.Printf("node %d: %.2f\n", r.Index, r.Score)
+	}
+	// Output:
+	// node 0: 1.00
+	// node 3: 1.00
+	// node 6: 0.87
+}
+
 // ExampleResult_TopK runs a top-k similarity search, the paper's stated
 // future-work query mode, directly off a converged result.
 func ExampleResult_TopK() {

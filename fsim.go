@@ -47,6 +47,17 @@
 // stabilize rounds before the slowest ones; Result.ActivePairs records the
 // per-iteration worklist sizes so the saving is observable.
 //
+// # Querying
+//
+// Serving workloads that need the best matches of individual nodes rather
+// than the full score matrix should build a reusable Index with NewIndex:
+// queries (Index.TopK, Index.Query) run a localized fixed point over only
+// the pairs reachable from the query frontier, returning the same scores
+// and rankings as Compute. The index is immutable and safe for concurrent
+// queries; locality — and therefore per-query speedup — comes from
+// candidate selectivity (Options.Theta, Options.UpperBoundOpt). See the
+// README's "Querying" section.
+//
 // Exact ("yes-or-no") χ-simulation checks, strong simulation,
 // k-bisimulation signatures and the WL test live alongside the fractional
 // framework; SimRank and RoleSim are available as framework presets
@@ -60,6 +71,8 @@ import (
 	"fsim/internal/core"
 	"fsim/internal/exact"
 	"fsim/internal/graph"
+	"fsim/internal/query"
+	"fsim/internal/stats"
 	"fsim/internal/strsim"
 )
 
@@ -122,6 +135,31 @@ func OperatorsFor(v Variant) Operators { return core.OperatorsFor(v) }
 // Compute runs the FSimχ framework over (g1, g2) and returns the
 // fractional χ-simulation scores of all maintained node pairs.
 func Compute(g1, g2 *Graph, opts Options) (*Result, error) { return core.Compute(g1, g2, opts) }
+
+// Ranked is one (node, score) entry of a top-k ranking, in descending
+// score order with ties broken by ascending node id.
+type Ranked = stats.Ranked
+
+// Index answers single-source FSimχ queries — TopK similarity searches and
+// single-pair score lookups — over a fixed graph pair without computing
+// the full all-pairs fixed point. It is built once via NewIndex and is
+// safe for any number of concurrent callers; see the "Querying" section of
+// the README.
+type Index = query.Index
+
+// QueryStats reports one query's localized-computation diagnostics
+// (frontier size, dependency-closure size, iterations).
+type QueryStats = query.Stats
+
+// NewIndex builds a reusable query index over (g1, g2): the candidate map,
+// label-similarity cache and §3.4 upper bounds shared with Compute, but no
+// score iteration. Queries then run a localized fixed point over only the
+// pairs their frontier reaches:
+//
+//	ix, err := fsim.NewIndex(g1, g2, fsim.DefaultOptions(fsim.BJ))
+//	top, err := ix.TopK(u, 10)   // ranking identical to Compute + Result.TopK
+//	s, err := ix.Query(u, v)     // score identical to Result.Score(u, v)
+func NewIndex(g1, g2 *Graph, opts Options) (*Index, error) { return query.New(g1, g2, opts) }
 
 // SimRank computes SimRank via the framework configuration of §4.3.
 func SimRank(g *Graph, decay float64, iters int) (*Result, error) {

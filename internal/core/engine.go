@@ -6,121 +6,61 @@ import (
 	"time"
 
 	"fsim/internal/graph"
-	"fsim/internal/strsim"
+	"fsim/internal/pairbits"
 )
 
-// pairKey packs a (u, v) candidate pair into one comparable word.
-type pairKey uint64
-
-func makeKey(u, v graph.NodeID) pairKey { return pairKey(uint64(uint32(u))<<32 | uint64(uint32(v))) }
-
-func (k pairKey) split() (graph.NodeID, graph.NodeID) {
-	return graph.NodeID(k >> 32), graph.NodeID(uint32(k))
-}
-
-// bitset is a fixed-size bit vector marking candidate pairs in dense mode.
-type bitset []uint64
-
-func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
-func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
-func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
-func (b bitset) count() (total int) {
-	for _, w := range b {
-		total += bits.OnesCount64(w)
-	}
-	return
-}
-func (b bitset) clearAll() {
-	for i := range b {
-		b[i] = 0
-	}
-}
-
-// engine holds one computation's immutable configuration and mutable score
-// buffers (Algorithm 1's Hc / Hp). Two stores implement the candidate map:
+// engine holds one computation's candidate component and mutable score
+// buffers (Algorithm 1's Hc / Hp). The candidate map, label-similarity
+// cache and §3.4 bounds live in the embedded CandidateSet, shared with the
+// query subsystem; the engine adds the two score buffers:
 //
-//   - dense: two flat arrays over the full |V1|×|V2| pair universe plus a
-//     candidate bitmap. Non-candidate entries hold their constant stand-in
-//     (0, or α·FSim̄ for pruned pairs) in both buffers, so the mapping
-//     operators read scores with one array load and the update loop simply
-//     skips non-candidates — upper-bound pruning then reduces work
-//     proportionally, as in the paper.
-//   - sparse: a hash map keyed by pair (the literal Hc of Algorithm 1),
-//     used when the pair universe exceeds the dense memory cap.
+//   - dense: two flat arrays over the full |V1|×|V2| pair universe.
+//     Non-candidate entries hold their constant stand-in (0, or α·FSim̄ for
+//     pruned pairs) in both buffers, so the mapping operators read scores
+//     with one array load and the update loop simply skips non-candidates —
+//     upper-bound pruning then reduces work proportionally, as in the
+//     paper.
+//   - sparse: buffers aligned to the candidate list (the literal Hc of
+//     Algorithm 1), used when the pair universe exceeds the dense memory
+//     cap.
 type engine struct {
-	g1, g2 *graph.Graph
-	opts   Options
-	ops    *Operators
-	table  *strsim.Table
-	n1, n2 int
-
-	labels1, labels2 []graph.Label
-
-	dense bool
-	// allPairs marks the fully-dense case (θ = 0, no pruning): every pair
-	// is a candidate and the loops iterate rows directly.
-	allPairs bool
-	// Candidate enumeration (both stores).
-	candPairs []pairKey
-	candBits  bitset // dense only; nil = all pairs
-	rowOff    []int32
-	index     map[pairKey]int32   // sparse only
-	prunedUB  map[pairKey]float64 // sparse only, α > 0
+	*CandidateSet
 
 	prev, cur []float64
 
 	// Delta-mode worklist state (nil unless Options.DeltaMode). Slots are
 	// score-buffer indices: u·n2+v in dense mode, candidate position in
 	// sparse mode.
-	active     bitset  // slots to recompute this iteration
-	nextActive bitset  // slots reactivated by this iteration's dirty pairs
-	dirtyPer   [][]int // per-worker slots whose change exceeded DeltaEps
-
-	prunedCount int
+	active     pairbits.Bitset // slots to recompute this iteration
+	nextActive pairbits.Bitset // slots reactivated by this iteration's dirty pairs
+	dirtyPer   [][]int         // per-worker slots whose change exceeded DeltaEps
 }
 
 // Compute runs the FSimχ framework on (g1, g2) and returns the fractional
 // χ-simulation scores of all maintained node pairs. g1 and g2 may be the
 // same graph (self-similarity, as in the paper's single-graph experiments).
 func Compute(g1, g2 *graph.Graph, opts Options) (*Result, error) {
-	if err := opts.normalize(); err != nil {
+	start := time.Now()
+	cs, err := NewCandidateSet(g1, g2, opts)
+	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	e := &engine{
-		g1: g1, g2: g2,
-		opts: opts,
-		ops:  opts.Operators,
-		n1:   g1.NumNodes(), n2: g2.NumNodes(),
-	}
-	e.table = strsim.NewTable(opts.Label, g1.LabelNames(), g2.LabelNames())
-	e.labels1 = make([]graph.Label, e.n1)
-	for u := 0; u < e.n1; u++ {
-		e.labels1[u] = g1.Label(graph.NodeID(u))
-	}
-	e.labels2 = make([]graph.Label, e.n2)
-	for v := 0; v < e.n2; v++ {
-		e.labels2[v] = g2.Label(graph.NodeID(v))
-	}
+	return computeOn(cs, start)
+}
 
-	e.dense = e.n1*e.n2 <= opts.DenseCapPairs
-	e.buildCandidates()
+// computeOn iterates Equation 3 to its fixed point over a prebuilt
+// candidate component.
+func computeOn(cs *CandidateSet, start time.Time) (*Result, error) {
+	e := &engine{CandidateSet: cs}
+	opts := cs.opts
+	e.initBuffers()
 	e.initScores()
 
 	res := &Result{
-		g1: g1, g2: g2,
-		opts:  opts,
-		dense: e.dense,
-		all:   e.allPairs,
-		n1:    e.n1, n2: e.n2,
-		candBits:    e.candBits,
-		index:       e.index,
-		rowOff:      e.rowOff,
-		pairs:       e.candPairs,
-		prunedUB:    e.prunedUB,
-		PrunedCount: e.prunedCount,
+		cs:          cs,
+		PrunedCount: cs.prunedCount,
 	}
-	res.CandidateCount = e.numCandidates()
+	res.CandidateCount = cs.NumCandidates()
 
 	if opts.DeltaMode {
 		e.initWorklist()
@@ -129,7 +69,7 @@ func Compute(g1, g2 *graph.Graph, opts Options) (*Result, error) {
 	for it := 1; it <= opts.MaxIters; it++ {
 		var maxAbs, maxRel float64
 		if opts.DeltaMode {
-			res.ActivePairs = append(res.ActivePairs, e.active.count())
+			res.ActivePairs = append(res.ActivePairs, e.active.Count())
 			maxAbs, maxRel = e.iterateDelta(res.Work)
 		} else {
 			maxAbs, maxRel = e.iterate(res.Work)
@@ -156,16 +96,6 @@ func Compute(g1, g2 *graph.Graph, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// labelSim returns the cached L(ℓ1(u), ℓ2(v)).
-func (e *engine) labelSim(u, v graph.NodeID) float64 {
-	return e.table.Sim(int(e.labels1[u]), int(e.labels2[v]))
-}
-
-// eligible implements the label constraint of Remark 2.
-func (e *engine) eligible(x, y graph.NodeID) bool {
-	return e.table.Sim(int(e.labels1[x]), int(e.labels2[y])) >= e.opts.Theta
-}
-
 // eligibleFn returns the constraint for the mapping operators. The dense
 // store returns nil even for θ > 0: non-candidate entries hold constant 0
 // (or α·FSim̄) scores, which contribute exactly what the constrained
@@ -178,81 +108,30 @@ func (e *engine) eligibleFn() func(x, y graph.NodeID) bool {
 	return e.eligible
 }
 
-// candidate decides membership in Hc and (with ub on) returns the pruning
-// stand-in for rejected-but-eligible pairs.
-func (e *engine) candidate(u, v graph.NodeID) (ok bool, standIn float64, pruned bool) {
-	ls := e.table.Sim(int(e.labels1[u]), int(e.labels2[v]))
-	if ls < e.opts.Theta {
-		return false, 0, false
-	}
-	if ub := e.opts.UpperBoundOpt; ub != nil {
-		bound := e.upperBound(u, v, ls)
-		if bound <= ub.Beta {
-			return false, ub.Alpha * bound, true
-		}
-	}
-	return true, 0, false
-}
-
-// buildCandidates enumerates Hc (Algorithm 1's Initializing step): pairs
-// passing the label constraint (L ≥ θ) and, when upper-bound updating is
-// on, pairs whose Eq. 6 bound exceeds β.
-func (e *engine) buildCandidates() {
-	e.allPairs = e.dense && e.opts.Theta == 0 && e.opts.UpperBoundOpt == nil
+// initBuffers allocates the two score buffers and bakes the constant §3.4
+// stand-ins of pruned pairs into the dense store (both buffers, forever).
+func (e *engine) initBuffers() {
 	if e.dense {
 		e.prev = make([]float64, e.n1*e.n2)
 		e.cur = make([]float64, e.n1*e.n2)
-		if e.allPairs {
-			return // every pair is a candidate
-		}
-		e.candBits = newBitset(e.n1 * e.n2)
-	}
-	if !e.dense {
-		e.index = make(map[pairKey]int32)
 		if ub := e.opts.UpperBoundOpt; ub != nil && ub.Alpha > 0 {
-			e.prunedUB = make(map[pairKey]float64)
-		}
-	}
-	e.rowOff = make([]int32, e.n1+1)
-	for u := 0; u < e.n1; u++ {
-		e.rowOff[u] = int32(len(e.candPairs))
-		for v := 0; v < e.n2; v++ {
-			un, vn := graph.NodeID(u), graph.NodeID(v)
-			ok, standIn, pruned := e.candidate(un, vn)
-			if !ok {
-				if pruned {
-					e.prunedCount++
-				}
-				if e.dense && standIn > 0 {
-					// Constant stand-in lives in both buffers forever.
-					e.prev[u*e.n2+v] = standIn
-					e.cur[u*e.n2+v] = standIn
-				}
-				if !e.dense && pruned && e.prunedUB != nil && e.opts.UpperBoundOpt.Alpha > 0 {
-					e.prunedUB[makeKey(un, vn)] = standIn / e.opts.UpperBoundOpt.Alpha
-				}
-				continue
+			for _, p := range e.prunedList {
+				u, v := p.k.Split()
+				i := int(u)*e.n2 + int(v)
+				e.prev[i] = ub.Alpha * p.bound
+				e.cur[i] = ub.Alpha * p.bound
 			}
-			k := makeKey(un, vn)
-			if e.dense {
-				e.candBits.set(u*e.n2 + v)
-			} else {
-				e.index[k] = int32(len(e.candPairs))
-			}
-			e.candPairs = append(e.candPairs, k)
 		}
+		return
 	}
-	e.rowOff[e.n1] = int32(len(e.candPairs))
-	if !e.dense {
-		e.prev = make([]float64, len(e.candPairs))
-		e.cur = make([]float64, len(e.candPairs))
-	}
+	e.prev = make([]float64, len(e.candPairs))
+	e.cur = make([]float64, len(e.candPairs))
 }
 
 // scoreIndex maps a candidate list position to its score-buffer index.
 func (e *engine) scoreIndex(pos int) int {
 	if e.dense {
-		u, v := e.candPairs[pos].split()
+		u, v := e.candPairs[pos].Split()
 		return int(u)*e.n2 + int(v)
 	}
 	return pos
@@ -260,29 +139,17 @@ func (e *engine) scoreIndex(pos int) int {
 
 // initScores fills prev with FSim⁰ for every candidate pair.
 func (e *engine) initScores() {
-	initFn := e.opts.Init
-	set := func(u, v graph.NodeID, i int) {
-		ls := e.labelSim(u, v)
-		if initFn != nil {
-			e.prev[i] = initFn(e.g1, e.g2, u, v, ls)
-		} else {
-			e.prev[i] = ls
-		}
-		if e.opts.PinDiagonal && u == v {
-			e.prev[i] = 1
-		}
-	}
 	if e.allPairs { // dense, all pairs
 		for u := 0; u < e.n1; u++ {
 			for v := 0; v < e.n2; v++ {
-				set(graph.NodeID(u), graph.NodeID(v), u*e.n2+v)
+				e.prev[u*e.n2+v] = e.InitScore(graph.NodeID(u), graph.NodeID(v))
 			}
 		}
 		return
 	}
 	for pos, k := range e.candPairs {
-		u, v := k.split()
-		set(u, v, e.scoreIndex(pos))
+		u, v := k.Split()
+		e.prev[e.scoreIndex(pos)] = e.InitScore(u, v)
 	}
 }
 
@@ -351,7 +218,7 @@ func (e *engine) iterate(work []int64) (maxAbs, maxRel float64) {
 				}
 			} else {
 				for pos := t; pos < len(e.candPairs); pos += threads {
-					u, v := e.candPairs[pos].split()
+					u, v := e.candPairs[pos].Split()
 					e.updateSlot(st, u, v, e.scoreIndex(pos))
 				}
 			}
@@ -380,20 +247,12 @@ func (e *engine) numSlots() int {
 	return len(e.candPairs)
 }
 
-// numCandidates is |Hc|, the number of maintained pairs.
-func (e *engine) numCandidates() int {
-	if e.allPairs {
-		return e.n1 * e.n2
-	}
-	return len(e.candPairs)
-}
-
 // slotPair decodes a worklist slot back into its node pair.
 func (e *engine) slotPair(slot int) (graph.NodeID, graph.NodeID) {
 	if e.dense {
 		return graph.NodeID(slot / e.n2), graph.NodeID(slot % e.n2)
 	}
-	return e.candPairs[slot].split()
+	return e.candPairs[slot].Split()
 }
 
 // initWorklist seeds delta mode. It establishes the two invariants the
@@ -405,14 +264,14 @@ func (e *engine) slotPair(slot int) (graph.NodeID, graph.NodeID) {
 func (e *engine) initWorklist() {
 	copy(e.cur, e.prev)
 	slots := e.numSlots()
-	e.active = newBitset(slots)
-	e.nextActive = newBitset(slots)
+	e.active = pairbits.NewBitset(slots)
+	e.nextActive = pairbits.NewBitset(slots)
 	e.dirtyPer = make([][]int, e.opts.Threads)
 	e.markAll(e.active)
 }
 
 // markAll sets every candidate slot of b.
-func (e *engine) markAll(b bitset) {
+func (e *engine) markAll(b pairbits.Bitset) {
 	if e.dense && !e.allPairs {
 		copy(b, e.candBits)
 		return
@@ -478,13 +337,13 @@ func (e *engine) iterateDelta(work []int64) (maxAbs, maxRel float64) {
 func (e *engine) markPair(u, v graph.NodeID) {
 	if e.dense {
 		i := int(u)*e.n2 + int(v)
-		if e.allPairs || e.candBits.get(i) {
-			e.nextActive.set(i)
+		if e.allPairs || e.candBits.Get(i) {
+			e.nextActive.Set(i)
 		}
 		return
 	}
-	if pos, ok := e.index[makeKey(u, v)]; ok {
-		e.nextActive.set(int(pos))
+	if pos, ok := e.index[pairbits.MakeKey(u, v)]; ok {
+		e.nextActive.Set(int(pos))
 	}
 }
 
@@ -507,7 +366,7 @@ func (e *engine) syncAndAdvance() {
 	for _, dirty := range e.dirtyPer {
 		dirtyTotal += len(dirty)
 	}
-	if 4*dirtyTotal >= e.numCandidates() {
+	if 4*dirtyTotal >= e.NumCandidates() {
 		// Most of the map changed: enumerating reverse adjacency would
 		// cost as much as the updates it schedules, and its union is
 		// (nearly) everything anyway. Reactivating all candidates is a
@@ -522,13 +381,13 @@ func (e *engine) syncAndAdvance() {
 				x, y := e.slotPair(slot)
 				forEachDependent(e.g1, e.g2, x, y, e.opts.WPlus, e.opts.WMinus, mark)
 				if damping > 0 {
-					e.nextActive.set(slot)
+					e.nextActive.Set(slot)
 				}
 			}
 		}
 	}
 	e.active, e.nextActive = e.nextActive, e.active
-	e.nextActive.clearAll()
+	e.nextActive.ClearAll()
 }
 
 // lookupFunc returns the previous-iteration score accessor used by the
@@ -545,30 +404,14 @@ func (e *engine) lookupFunc() func(x, y graph.NodeID) float64 {
 		alpha = ub.Alpha
 	}
 	return func(x, y graph.NodeID) float64 {
-		if i, ok := e.index[makeKey(x, y)]; ok {
+		if i, ok := e.index[pairbits.MakeKey(x, y)]; ok {
 			return e.prev[i]
 		}
 		if alpha > 0 {
-			if b, ok := e.prunedUB[makeKey(x, y)]; ok {
+			if b, ok := e.prunedUB[pairbits.MakeKey(x, y)]; ok {
 				return alpha * b
 			}
 		}
 		return 0
 	}
-}
-
-// updatePair evaluates Equation 3 for one pair.
-func (e *engine) updatePair(u, v graph.NodeID, eligible func(x, y graph.NodeID) bool, lookup func(x, y graph.NodeID) float64, scratch *opScratch) float64 {
-	if e.opts.PinDiagonal && u == v {
-		return 1
-	}
-	o := e.opts
-	s := (1 - o.WPlus - o.WMinus) * e.labelSim(u, v)
-	if o.WPlus > 0 {
-		s += o.WPlus * e.ops.neighborScore(e.g1.Out(u), e.g2.Out(v), eligible, lookup, scratch)
-	}
-	if o.WMinus > 0 {
-		s += o.WMinus * e.ops.neighborScore(e.g1.In(u), e.g2.In(v), eligible, lookup, scratch)
-	}
-	return s
 }

@@ -4,23 +4,14 @@ import (
 	"time"
 
 	"fsim/internal/graph"
+	"fsim/internal/pairbits"
 	"fsim/internal/stats"
 )
 
 // Result holds the converged FSimχ scores plus computation diagnostics.
 type Result struct {
-	g1, g2 *graph.Graph
-	opts   Options
-	dense  bool
-	all    bool // every pair is a candidate (θ = 0, no pruning)
-	n1, n2 int
-
-	scores   []float64 // dense: n1*n2 entries; sparse: aligned to pairs
-	pairs    []pairKey // candidate pairs; nil = every pair (dense)
-	candBits bitset    // dense candidate bitmap; nil = every pair
-	index    map[pairKey]int32
-	rowOff   []int32
-	prunedUB map[pairKey]float64
+	cs     *CandidateSet
+	scores []float64 // dense: n1*n2 entries; sparse: aligned to cs.candPairs
 
 	// Iterations is the number of update rounds executed.
 	Iterations int
@@ -50,64 +41,54 @@ type Result struct {
 }
 
 // Graphs returns the two input graphs.
-func (r *Result) Graphs() (*graph.Graph, *graph.Graph) { return r.g1, r.g2 }
+func (r *Result) Graphs() (*graph.Graph, *graph.Graph) { return r.cs.Graphs() }
 
 // Options returns the normalized options the computation ran with.
-func (r *Result) Options() Options { return r.opts }
+func (r *Result) Options() Options { return r.cs.opts }
+
+// Candidates returns the candidate component the computation ran on. It is
+// read-only and shared; a query Index built over the same graphs and
+// options reuses an identical structure.
+func (r *Result) Candidates() *CandidateSet { return r.cs }
 
 // Score returns FSimχ(u, v). Pairs outside the candidate set return their
 // §3.4 stand-in: α·FSim̄ when upper-bound pruning retained the bound, else
 // 0.
 func (r *Result) Score(u, v graph.NodeID) float64 {
-	if r.dense {
-		return r.scores[int(u)*r.n2+int(v)]
+	if r.cs.dense {
+		return r.scores[int(u)*r.cs.n2+int(v)]
 	}
-	k := makeKey(u, v)
-	if i, ok := r.index[k]; ok {
+	if i, ok := r.cs.index[pairbits.MakeKey(u, v)]; ok {
 		return r.scores[i]
 	}
-	if r.prunedUB != nil {
-		if b, ok := r.prunedUB[k]; ok {
-			return r.opts.UpperBoundOpt.Alpha * b
-		}
-	}
-	return 0
+	return r.cs.StandIn(u, v)
 }
 
 // Contains reports whether the pair (u, v) is maintained in the candidate
 // map Hc.
-func (r *Result) Contains(u, v graph.NodeID) bool {
-	if r.all {
-		return true
-	}
-	if r.dense {
-		return r.candBits.get(int(u)*r.n2 + int(v))
-	}
-	_, ok := r.index[makeKey(u, v)]
-	return ok
-}
+func (r *Result) Contains(u, v graph.NodeID) bool { return r.cs.Contains(u, v) }
 
 // scoreAt returns the score of the candidate at list position pos.
 func (r *Result) scoreAt(pos int) float64 {
-	if r.dense {
-		u, v := r.pairs[pos].split()
-		return r.scores[int(u)*r.n2+int(v)]
+	if r.cs.dense {
+		u, v := r.cs.candPairs[pos].Split()
+		return r.scores[int(u)*r.cs.n2+int(v)]
 	}
 	return r.scores[pos]
 }
 
 // ForEach calls fn for every maintained pair in deterministic (u, v) order.
 func (r *Result) ForEach(fn func(u, v graph.NodeID, score float64)) {
-	if r.all {
-		for u := 0; u < r.n1; u++ {
-			for v := 0; v < r.n2; v++ {
-				fn(graph.NodeID(u), graph.NodeID(v), r.scores[u*r.n2+v])
+	if r.cs.allPairs {
+		for u := 0; u < r.cs.n1; u++ {
+			for v := 0; v < r.cs.n2; v++ {
+				fn(graph.NodeID(u), graph.NodeID(v), r.scores[u*r.cs.n2+v])
 			}
 		}
 		return
 	}
-	for pos, k := range r.pairs {
-		u, v := k.split()
+	for pos, k := range r.cs.candPairs {
+		u, v := k.Split()
 		fn(u, v, r.scoreAt(pos))
 	}
 }
@@ -115,17 +96,17 @@ func (r *Result) ForEach(fn func(u, v graph.NodeID, score float64)) {
 // Row returns the maintained scores of node u as (v, score) pairs in
 // ascending v order.
 func (r *Result) Row(u graph.NodeID) []stats.Ranked {
-	if r.all {
-		out := make([]stats.Ranked, r.n2)
-		for v := 0; v < r.n2; v++ {
-			out[v] = stats.Ranked{Index: v, Score: r.scores[int(u)*r.n2+v]}
+	if r.cs.allPairs {
+		out := make([]stats.Ranked, r.cs.n2)
+		for v := 0; v < r.cs.n2; v++ {
+			out[v] = stats.Ranked{Index: v, Score: r.scores[int(u)*r.cs.n2+v]}
 		}
 		return out
 	}
-	lo, hi := r.rowOff[u], r.rowOff[u+1]
+	lo, hi := r.cs.rowOff[u], r.cs.rowOff[u+1]
 	out := make([]stats.Ranked, 0, hi-lo)
 	for pos := lo; pos < hi; pos++ {
-		_, v := r.pairs[pos].split()
+		_, v := r.cs.candPairs[pos].Split()
 		out = append(out, stats.Ranked{Index: int(v), Score: r.scoreAt(int(pos))})
 	}
 	return out

@@ -7,7 +7,7 @@ import "fsim/internal/graph"
 // from above using label-eligibility counts (how many neighbors on each
 // side have at least one eligible partner); since scores never exceed 1,
 // the bound dominates every reachable score of the pair.
-func (e *engine) upperBound(u, v graph.NodeID, labelSim float64) float64 {
+func (e *CandidateSet) upperBound(u, v graph.NodeID, labelSim float64) float64 {
 	o := &e.opts
 	b := (1 - o.WPlus - o.WMinus) * labelSim
 	if o.WPlus > 0 {
@@ -21,7 +21,7 @@ func (e *engine) upperBound(u, v graph.NodeID, labelSim float64) float64 {
 
 // directionBound bounds the neighbor-score of one direction by
 // |Mχ|/Ωχ ≤ 1, honoring the empty-set conventions.
-func (e *engine) directionBound(s1, s2 []graph.NodeID) float64 {
+func (e *CandidateSet) directionBound(s1, s2 []graph.NodeID) float64 {
 	n1, n2 := len(s1), len(s2)
 	switch {
 	case n1 == 0 && n2 == 0:
@@ -43,7 +43,7 @@ func (e *engine) directionBound(s1, s2 []graph.NodeID) float64 {
 // eligibleCounts returns how many nodes of s1 (resp. s2) have at least one
 // label-eligible partner on the other side. With θ = 0 everything is
 // eligible, so the scan is skipped.
-func (e *engine) eligibleCounts(s1, s2 []graph.NodeID) (int, int) {
+func (e *CandidateSet) eligibleCounts(s1, s2 []graph.NodeID) (int, int) {
 	if e.opts.Theta == 0 {
 		return len(s1), len(s2)
 	}

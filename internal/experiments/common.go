@@ -68,6 +68,7 @@ func Registry() []struct {
 		{"table8", "nDCG of node similarity algorithms", Table8},
 		{"table9", "graph alignment F1", Table9},
 		{"delta", "worklist delta convergence vs full recomputation", Delta},
+		{"topk", "single-source top-k queries vs full computation", TopK},
 	}
 }
 

@@ -21,9 +21,9 @@ func quickCfg(buf *bytes.Buffer) Config {
 
 func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the evaluation section must be present,
-	// plus the repo's own delta-convergence benchmark.
+	// plus the repo's own delta-convergence and top-k query benchmarks.
 	want := []string{"table2", "table5", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta"}
+		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta", "topk"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -198,5 +198,75 @@ func TestSamplePairsDeterministic(t *testing.T) {
 	full := samplePairs(5, 4, 1000, 1)
 	if len(full) != 20 {
 		t.Fatalf("small universe should enumerate all pairs, got %d", len(full))
+	}
+}
+
+// TestTopKExperiment runs the single-source query benchmark at smoke size
+// and validates the BENCH_topk.json artifact: the serving configuration
+// must be present with every k, its closures must stay a strict subset of
+// the candidate map, and its rankings must agree with full Compute to
+// within the convergence tolerance.
+func TestTopKExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.JSONDir = t.TempDir()
+	if err := TopK(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_topk.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Sizes []struct {
+			Scale   int `json:"scale"`
+			Configs []struct {
+				Name       string `json:"name"`
+				Candidates int    `json:"candidates"`
+				Runs       []struct {
+					K              int     `json:"k"`
+					Queries        int     `json:"queries"`
+					Speedup        float64 `json:"speedup"`
+					MeanLocalPairs int     `json:"mean_local_pairs"`
+					MaxDiffVsFull  float64 `json:"max_diff_vs_full"`
+				} `json:"runs"`
+			} `json:"configs"`
+		} `json:"sizes"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Sizes) == 0 {
+		t.Fatal("no sizes in report")
+	}
+	foundServing := false
+	for _, size := range report.Sizes {
+		for _, c := range size.Configs {
+			if c.Name != "serving" {
+				continue
+			}
+			foundServing = true
+			if len(c.Runs) != 3 {
+				t.Fatalf("serving config has %d runs, want 3 (k = 1, 10, 50)", len(c.Runs))
+			}
+			for _, run := range c.Runs {
+				if run.Queries == 0 {
+					t.Fatalf("serving k=%d measured no queries", run.K)
+				}
+				if run.MeanLocalPairs <= 0 || run.MeanLocalPairs >= c.Candidates {
+					t.Errorf("serving k=%d: closure %d should be a strict nonempty subset of %d candidates",
+						run.K, run.MeanLocalPairs, c.Candidates)
+				}
+				if run.MaxDiffVsFull > 0.05 {
+					t.Errorf("serving k=%d: rank-wise deviation %v vs full Compute", run.K, run.MaxDiffVsFull)
+				}
+			}
+		}
+	}
+	if !foundServing {
+		t.Fatal("serving configuration missing from report")
+	}
+	if !strings.Contains(buf.String(), "BENCH_topk.json") {
+		t.Fatal("experiment did not report the artifact path")
 	}
 }

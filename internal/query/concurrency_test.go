@@ -1,0 +1,118 @@
+package query
+
+import (
+	"sync"
+	"testing"
+
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+	"fsim/internal/stats"
+)
+
+// TestConcurrentQueries hammers one shared Index with 16 goroutines
+// issuing interleaved TopK and Query calls (the serving scenario) and
+// checks every concurrent result against a serial execution of the same
+// call sequence. Run under -race (the CI default) this doubles as the
+// data-race proof for the read-only shared candidate component and the
+// pooled per-query states.
+func TestConcurrentQueries(t *testing.T) {
+	g1 := dataset.RandomGraph(91, 24, 72, 4)
+	g2 := dataset.RandomGraph(92, 27, 81, 4)
+	opts := core.DefaultOptions(exact.BJ)
+	opts.Threads = 1
+	opts.UpperBoundOpt = &core.UpperBound{Alpha: 0.3, Beta: 0.3}
+
+	ix, err := New(g1, g2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One deterministic workload per goroutine: alternating TopK and
+	// Query calls spread over the node universe.
+	const workers = 16
+	const callsPerWorker = 10
+	type call struct {
+		u, v graph.NodeID
+		k    int // 0 = single-pair Query
+	}
+	workload := make([][]call, workers)
+	for w := range workload {
+		for i := 0; i < callsPerWorker; i++ {
+			c := call{u: graph.NodeID((w*7 + i*3) % g1.NumNodes())}
+			if i%2 == 0 {
+				c.k = 1 + (w+i)%10
+			} else {
+				c.v = graph.NodeID((w*5 + i*11) % g2.NumNodes())
+			}
+			workload[w] = append(workload[w], c)
+		}
+	}
+
+	serialTop := make([][][]stats.Ranked, workers)
+	serialScore := make([][]float64, workers)
+	for w, calls := range workload {
+		serialTop[w] = make([][]stats.Ranked, len(calls))
+		serialScore[w] = make([]float64, len(calls))
+		for i, c := range calls {
+			if c.k > 0 {
+				top, err := ix.TopK(c.u, c.k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serialTop[w][i] = top
+			} else {
+				s, err := ix.Query(c.u, c.v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serialScore[w][i] = s
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, c := range workload[w] {
+				if c.k > 0 {
+					top, err := ix.TopK(c.u, c.k)
+					if err != nil {
+						errs <- err
+						return
+					}
+					want := serialTop[w][i]
+					if len(top) != len(want) {
+						t.Errorf("worker %d call %d: TopK length %d, serial %d", w, i, len(top), len(want))
+						return
+					}
+					for j := range want {
+						if top[j] != want[j] {
+							t.Errorf("worker %d call %d: TopK[%d] = %+v, serial %+v", w, i, j, top[j], want[j])
+							return
+						}
+					}
+				} else {
+					s, err := ix.Query(c.u, c.v)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if s != serialScore[w][i] {
+						t.Errorf("worker %d call %d: Query = %v, serial %v", w, i, s, serialScore[w][i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+package query
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/strsim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// figure1TopK answers the running example's query — the top-5 candidates
+// of node u of Figure 1's P against G2 — for every variant, under the
+// Table 2 configuration (indicator labels, tight absolute epsilon).
+func figure1TopK(t *testing.T) []Ranking {
+	t.Helper()
+	f := dataset.NewFigure1()
+	var out []Ranking
+	for _, variant := range exact.Variants {
+		opts := core.DefaultOptions(variant)
+		opts.Label = strsim.Indicator
+		opts.Epsilon = 1e-9
+		opts.RelativeEps = false
+		opts.Threads = 1
+		ix, err := New(f.P, f.G2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, err := ix.TopK(f.U, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, NewRanking(variant.String(), f.U, 5, top))
+	}
+	return out
+}
+
+// TestGoldenFigure1TopK pins the top-5 lists of the paper's running
+// example. Regenerate with `go test ./internal/query -run Golden -update`
+// after an intentional scoring change.
+func TestGoldenFigure1TopK(t *testing.T) {
+	got := figure1TopK(t)
+	path := filepath.Join("testdata", "figure1_top5.json")
+
+	if *updateGolden {
+		var buf bytes.Buffer
+		if err := EncodeRankings(&buf, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DecodeRankings(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d rankings, golden has %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Variant != w.Variant || g.U != w.U || g.K != w.K || len(g.Entries) != len(w.Entries) {
+			t.Fatalf("ranking %d header mismatch: got %+v, want %+v", i, g, w)
+		}
+		for j := range w.Entries {
+			if g.Entries[j] != w.Entries[j] {
+				t.Errorf("%s: entry %d = %+v, golden %+v (rerun with -update if intentional)",
+					g.Variant, j, g.Entries[j], w.Entries[j])
+			}
+		}
+	}
+
+	// The v4 candidate mirrors u exactly, so every variant must place it
+	// in the top-5 at score 1 — the ✓ column of Table 2. (Weaker variants
+	// also score unrelated leaf candidates at 1; ties rank by node id.)
+	f := dataset.NewFigure1()
+	for _, r := range got {
+		found := false
+		for _, e := range r.Entries {
+			if e.V == int(f.V[3]) && e.Score == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: v4 should appear at score 1.0, got %+v", r.Variant, r.Entries)
+		}
+	}
+}
+
+// TestGoldenRoundTrip is the regression test for the JSON encoder: golden
+// documents must survive decode → encode byte-identically, so serialized
+// rankings are stable interchange artifacts.
+func TestGoldenRoundTrip(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no golden files under testdata/")
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := DecodeRankings(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeRankings(&buf, rs); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Errorf("%s: decode→encode is not byte-identical", path)
+		}
+	}
+}

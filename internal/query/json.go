@@ -1,0 +1,66 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"fsim/internal/graph"
+	"fsim/internal/stats"
+)
+
+// Entry is one (candidate, score) row of a serialized ranking.
+type Entry struct {
+	V     int     `json:"v"`
+	Score float64 `json:"score"`
+}
+
+// Ranking is the JSON document of one TopK query — the interchange format
+// of golden files and of serving responses.
+type Ranking struct {
+	Variant string  `json:"variant"`
+	U       int     `json:"u"`
+	K       int     `json:"k"`
+	Entries []Entry `json:"entries"`
+}
+
+// NewRanking converts a TopK result into its serialized form. Scores are
+// rounded to 1e-9 so documents are stable across architectures (Go may
+// fuse floating-point operations differently per platform).
+func NewRanking(variant string, u graph.NodeID, k int, top []stats.Ranked) Ranking {
+	r := Ranking{Variant: variant, U: int(u), K: k, Entries: make([]Entry, len(top))}
+	for i, t := range top {
+		r.Entries[i] = Entry{V: t.Index, Score: math.Round(t.Score*1e9) / 1e9}
+	}
+	return r
+}
+
+// Ranked converts the serialized entries back into ranking form.
+func (r Ranking) Ranked() []stats.Ranked {
+	out := make([]stats.Ranked, len(r.Entries))
+	for i, e := range r.Entries {
+		out[i] = stats.Ranked{Index: e.V, Score: e.Score}
+	}
+	return out
+}
+
+// EncodeRankings writes rankings as indented JSON with a trailing newline
+// (the canonical golden-file form).
+func EncodeRankings(w io.Writer, rs []Ranking) error {
+	data, err := json.MarshalIndent(rs, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// DecodeRankings reads a document written by EncodeRankings.
+func DecodeRankings(r io.Reader) ([]Ranking, error) {
+	var rs []Ranking
+	if err := json.NewDecoder(r).Decode(&rs); err != nil {
+		return nil, fmt.Errorf("query: decoding rankings: %w", err)
+	}
+	return rs, nil
+}

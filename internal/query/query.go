@@ -1,0 +1,219 @@
+// Package query implements the single-source FSimχ query subsystem: an
+// Index built once over two graphs, answering top-k similarity searches
+// (TopK) and single-pair score lookups (Query) without computing the full
+// all-pairs fixed point.
+//
+// The Index shares the batch engine's candidate component
+// (core.CandidateSet — candidate map, label-similarity cache and §3.4
+// upper bounds), so a query is guaranteed to see exactly the candidate
+// universe a core.Compute over the same graphs and options would. Each
+// query runs a query-localized fixed point: starting from the query
+// frontier it collects the dependency closure — the pairs whose scores the
+// frontier's Equation 3 updates read, transitively — and iterates only
+// those pairs, with a worklist that skips pairs whose inputs stopped
+// changing. Pairs outside the closure can never influence the frontier at
+// any iteration, so the localized trajectory is identical to the batch
+// engine's, and the returned scores agree with Compute up to the two
+// strategies' stopping times (bit-identical when both run a pinned number
+// of iterations).
+//
+// TopK additionally seeds the frontier through §3.4's upper bounds: a row
+// candidate whose Eq. 6 bound FSim̄(u, v) cannot reach the k-th best
+// certified lower bound is excluded from the frontier before iteration
+// (it still joins the closure if a retained pair reads it). Since
+// FSimχ ≤ FSim̄, the pruned candidates can never appear in the exact
+// top-k, so the pruning is lossless.
+//
+// An Index is immutable after construction and safe for any number of
+// concurrent TopK/Query callers; per-query state lives in a pooled
+// scratch.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fsim/internal/core"
+	"fsim/internal/graph"
+	"fsim/internal/stats"
+)
+
+// Index answers single-source FSimχ queries over a fixed graph pair and
+// option set. Build one with New; the zero value is not usable.
+type Index struct {
+	cs     *core.CandidateSet
+	n1, n2 int
+	// rowStandIns lists, per g1 node, the §3.4 stand-ins of its pruned
+	// pairs (nil when α = 0), so query states materialize a row slab by
+	// walking the candidate row instead of probing all |V2| pairs.
+	rowStandIns [][]standIn
+	pool        sync.Pool // *state
+}
+
+// standIn is one pruned pair's constant score within a row.
+type standIn struct {
+	v     graph.NodeID
+	score float64
+}
+
+// New builds a query index over (g1, g2): the shared candidate component
+// (label-similarity table, candidate map, §3.4 bounds) without any score
+// iteration. The same validation as core.Compute applies.
+func New(g1, g2 *graph.Graph, opts core.Options) (*Index, error) {
+	cs, err := core.NewCandidateSet(g1, g2, opts)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{cs: cs}
+	g1, g2 = cs.Graphs()
+	ix.n1, ix.n2 = g1.NumNodes(), g2.NumNodes()
+	cs.ForEachPruned(func(u, v graph.NodeID, s float64) {
+		if ix.rowStandIns == nil {
+			ix.rowStandIns = make([][]standIn, ix.n1)
+		}
+		ix.rowStandIns[u] = append(ix.rowStandIns[u], standIn{v: v, score: s})
+	})
+	ix.pool.New = func() any { return newState(ix) }
+	return ix, nil
+}
+
+// Candidates exposes the shared candidate component.
+func (ix *Index) Candidates() *core.CandidateSet { return ix.cs }
+
+// Options returns the normalized options the index was built with.
+func (ix *Index) Options() core.Options { return ix.cs.Options() }
+
+// Stats reports one query's localized-computation diagnostics.
+type Stats struct {
+	// Seeds is the number of frontier pairs the query started from (for
+	// TopK: the row candidates surviving upper-bound seed pruning).
+	Seeds int
+	// LocalPairs is the size of the dependency closure the query iterated
+	// — the query's share of the full candidate map.
+	LocalPairs int
+	// Iterations and Converged mirror core.Result.
+	Iterations int
+	Converged  bool
+}
+
+// TopK returns the k best-scoring candidates v for node u, in descending
+// score order with ties broken by ascending v — the same ranking a full
+// core.Compute followed by Result.TopK produces. Fewer than k entries are
+// returned when u has fewer maintained candidates.
+func (ix *Index) TopK(u graph.NodeID, k int) ([]stats.Ranked, error) {
+	top, _, err := ix.TopKStats(u, k)
+	return top, err
+}
+
+// TopKStats is TopK with the query's computation diagnostics.
+func (ix *Index) TopKStats(u graph.NodeID, k int) ([]stats.Ranked, Stats, error) {
+	if int(u) < 0 || int(u) >= ix.n1 {
+		return nil, Stats{}, fmt.Errorf("query: node %d out of range [0,%d)", u, ix.n1)
+	}
+	if k <= 0 {
+		return nil, Stats{}, fmt.Errorf("query: k must be positive, got %d", k)
+	}
+	seeds := ix.seedRow(u, k)
+	if len(seeds) == 0 {
+		return nil, Stats{}, nil
+	}
+	s := ix.pool.Get().(*state)
+	defer ix.release(s)
+	for _, v := range seeds {
+		s.addPair(u, v)
+	}
+	s.closure()
+	st := s.run()
+	st.Seeds = len(seeds)
+
+	top := make([]stats.Ranked, len(seeds))
+	r := s.rowOf[u]
+	for i, v := range seeds {
+		top[i] = stats.Ranked{Index: int(v), Score: s.prevRows[r][v]}
+	}
+	sort.Slice(top, func(a, b int) bool {
+		if top[a].Score != top[b].Score {
+			return top[a].Score > top[b].Score
+		}
+		return top[a].Index < top[b].Index
+	})
+	if k < len(top) {
+		top = top[:k]
+	}
+	return top, st, nil
+}
+
+// Query returns FSimχ(u, v). Pairs outside the candidate map return their
+// §3.4 stand-in, exactly like Result.Score.
+func (ix *Index) Query(u, v graph.NodeID) (float64, error) {
+	score, _, err := ix.QueryStats(u, v)
+	return score, err
+}
+
+// QueryStats is Query with the query's computation diagnostics.
+func (ix *Index) QueryStats(u, v graph.NodeID) (float64, Stats, error) {
+	if int(u) < 0 || int(u) >= ix.n1 {
+		return 0, Stats{}, fmt.Errorf("query: node %d out of range [0,%d)", u, ix.n1)
+	}
+	if int(v) < 0 || int(v) >= ix.n2 {
+		return 0, Stats{}, fmt.Errorf("query: node %d out of range [0,%d)", v, ix.n2)
+	}
+	if !ix.cs.Contains(u, v) {
+		return ix.cs.StandIn(u, v), Stats{}, nil
+	}
+	s := ix.pool.Get().(*state)
+	defer ix.release(s)
+	s.addPair(u, v)
+	s.closure()
+	st := s.run()
+	st.Seeds = 1
+	return s.prevRows[s.rowOf[u]][v], st, nil
+}
+
+// seedRow selects the frontier of a TopK query: every candidate v of row u
+// whose Eq. 6 upper bound can still reach the k-th best certified lower
+// bound. The lower bound is the label term every post-initialization score
+// retains, (1−damping)·(1−w⁺−w⁻)·L(u, v) (or 1 for a pinned diagonal
+// pair); since FSimχ(u, v) ≤ FSim̄(u, v), a candidate failing the
+// threshold cannot rank above any of the k certified ones. Under damping
+// the transient scores may exceed Eq. 6's fixed-point bound, so pruning is
+// disabled and every row candidate is seeded.
+func (ix *Index) seedRow(u graph.NodeID, k int) []graph.NodeID {
+	opts := ix.cs.Options()
+	var cands []graph.NodeID
+	ix.cs.ForEachCandidate(u, func(v graph.NodeID) { cands = append(cands, v) })
+	if len(cands) <= k || opts.Damping > 0 {
+		return cands
+	}
+	labelW := (1 - opts.Damping) * (1 - opts.WPlus - opts.WMinus)
+	lb := func(v graph.NodeID) float64 {
+		if opts.PinDiagonal && u == v {
+			return 1
+		}
+		return labelW * ix.cs.LabelSim(u, v)
+	}
+	lbs := make([]float64, len(cands))
+	for i, v := range cands {
+		lbs[i] = lb(v)
+	}
+	sort.Float64s(lbs)
+	kth := lbs[len(lbs)-k]
+	seeds := cands[:0]
+	for _, v := range cands {
+		if opts.PinDiagonal && u == v {
+			seeds = append(seeds, v)
+			continue
+		}
+		if ix.cs.Bound(u, v) >= kth {
+			seeds = append(seeds, v)
+		}
+	}
+	return seeds
+}
+
+// release resets a query state and returns it to the pool.
+func (ix *Index) release(s *state) {
+	s.reset()
+	ix.pool.Put(s)
+}
