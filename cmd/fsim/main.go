@@ -4,21 +4,35 @@
 // Usage:
 //
 //	fsim [flags] <graph1> [<graph2>]
+//	fsim watch [flags] <graph> <updates>
 //
 // With one graph argument, scores are computed from the graph to itself.
 // By default the top scoring pairs are printed; use -u to list the best
 // matches of a single node, or -all to dump every maintained pair.
+//
+// The watch subcommand maintains self-similarity scores incrementally
+// while streaming updates ("+n <label>" / "+e <u> <v>" / "-e <u> <v>"
+// lines) from a file, or from stdin when the updates argument is "-": each
+// batch is absorbed by re-converging only its cone of influence, and the
+// per-update maintenance stats are reported as the stream progresses.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"fsim"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		watch(os.Args[2:])
+		return
+	}
 	variantFlag := flag.String("variant", "bj", "simulation variant: s, dp, b, or bj")
 	wplus := flag.Float64("wplus", 0.4, "out-neighbor weight w+")
 	wminus := flag.Float64("wminus", 0.4, "in-neighbor weight w-")
@@ -107,6 +121,104 @@ func main() {
 			fmt.Printf("%d\t%d\t%.6f\n", b.u, b.v, b.s)
 		}
 	}
+}
+
+// watch implements the "fsim watch" subcommand: incremental maintenance
+// over an update stream.
+func watch(args []string) {
+	fs := flag.NewFlagSet("fsim watch", flag.ExitOnError)
+	variantFlag := fs.String("variant", "bj", "simulation variant: s, dp, b, or bj")
+	wplus := fs.Float64("wplus", 0.4, "out-neighbor weight w+")
+	wminus := fs.Float64("wminus", 0.4, "in-neighbor weight w-")
+	theta := fs.Float64("theta", 0, "label-constrained mapping threshold θ in [0,1]")
+	ubBeta := fs.Float64("ub", -1, "enable upper-bound pruning with this β (negative = off)")
+	ubAlpha := fs.Float64("alpha", 0, "stand-in factor α for pruned pairs (needs -ub)")
+	threads := fs.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 1, "apply updates in batches of this size")
+	node := fs.Int("u", -1, "print this node's top matches after every batch")
+	topN := fs.Int("top", 5, "how many matches -u prints")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fsim watch [flags] <graph> <updates>  (updates = file or '-' for stdin)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	g, err := fsim.ReadGraphFile(fs.Arg(0))
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "G: %s\n", g.Stats())
+
+	variant, err := fsim.ParseVariant(*variantFlag)
+	fatal(err)
+	opts := fsim.DefaultOptions(variant)
+	opts.WPlus = *wplus
+	opts.WMinus = *wminus
+	opts.Theta = *theta
+	opts.Threads = *threads
+	if *ubBeta >= 0 {
+		opts.UpperBoundOpt = &fsim.UpperBound{Alpha: *ubAlpha, Beta: *ubBeta}
+	}
+	mt, err := fsim.NewMaintainer(g, opts)
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "initial fixed point: %d candidates\n", mt.Index().Candidates().NumCandidates())
+
+	var in io.Reader = os.Stdin
+	if name := fs.Arg(1); name != "-" {
+		f, err := os.Open(name)
+		fatal(err)
+		defer f.Close()
+		in = f
+	}
+
+	report := func(pending []fsim.Change) {
+		st, err := mt.Apply(pending)
+		fatal(err)
+		mode := fmt.Sprintf("cone=%d closure=%d iters=%d", st.Cone, st.LocalPairs, st.Iterations)
+		if st.Full {
+			mode = "full recompute"
+			if st.Rebuilt {
+				mode = "store rebuild"
+			}
+		}
+		fmt.Printf("applied %d/%d change(s) in %s (%s)\n", st.Applied, len(pending), st.Duration, mode)
+		if *node >= 0 && *node < mt.Graph().NumNodes() {
+			top, err := mt.TopK(fsim.NodeID(*node), *topN)
+			fatal(err)
+			for _, r := range top {
+				fmt.Printf("  %d\t%d\t%.6f\n", *node, r.Index, r.Score)
+			}
+		}
+	}
+
+	// Stream line by line so "-" behaves like a tail -f feed: every -batch
+	// parsed changes are applied as one batch, and a trailing partial
+	// batch is flushed at EOF.
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var pending []fsim.Change
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := fsim.ParseChange(line)
+		fatal(err)
+		pending = append(pending, c)
+		if len(pending) >= *batch {
+			report(pending)
+			pending = pending[:0]
+		}
+	}
+	fatal(sc.Err())
+	if len(pending) > 0 {
+		report(pending)
+	}
+	fmt.Fprintf(os.Stderr, "final: %s\n", mt.Graph().Stats())
 }
 
 func fatal(err error) {

@@ -6,12 +6,14 @@
 //	fsimbench [-quick] [-threads N] [-seed S] [-jsondir DIR] <experiment|all> [more experiments...]
 //
 // Experiments: table2 table5 fig4 fig5 fig6 fig7 fig8 fig9 table6 table7
-// table8 table9 delta topk (see DESIGN.md §4 for the experiment index).
-// Two experiments write machine-readable artifacts into -jsondir: delta
-// writes BENCH_delta.json (iteration-by-iteration active-pair trajectories
-// of worklist-driven delta convergence) and topk writes BENCH_topk.json
-// (single-source top-k query latency and speedup vs full computation
-// across k and graph size).
+// table8 table9 delta topk dynamic (see DESIGN.md §4 for the experiment
+// index). Three experiments write machine-readable artifacts into
+// -jsondir: delta writes BENCH_delta.json (iteration-by-iteration
+// active-pair trajectories of worklist-driven delta convergence), topk
+// writes BENCH_topk.json (single-source top-k query latency and speedup vs
+// full computation across k and graph size) and dynamic writes
+// BENCH_dynamic.json (incremental maintenance cost per update, single and
+// batched streams, vs full recompute).
 package main
 
 import (

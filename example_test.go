@@ -92,6 +92,44 @@ func ExampleIndex_TopK() {
 	// node 6: 0.87
 }
 
+// ExampleMaintainer keeps FSim scores fresh while the graph changes:
+// each Apply re-converges only the update's neighborhood instead of
+// recomputing the fixed point from scratch, and reads stay identical to a
+// fresh Compute on the mutated graph.
+func ExampleMaintainer() {
+	b := fsim.NewBuilder()
+	ada := b.AddNode("user")
+	b.MustAddEdge(ada, b.AddNode("item"))
+	b.MustAddEdge(ada, b.AddNode("item"))
+	rival := b.AddNode("user")
+	b.MustAddEdge(rival, b.AddNode("item"))
+	g := b.Build()
+
+	opts := fsim.DefaultOptions(fsim.BJ)
+	opts.Theta = 0.6 // a selective candidate map keeps updates local
+	mt, err := fsim.NewMaintainer(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	before, _ := mt.Score(ada, rival)
+	fmt.Printf("before: %.2f\n", before)
+
+	// rival catches up: one new item, streamed as an update batch.
+	item := fsim.NodeID(g.NumNodes())
+	_, err = mt.Apply([]fsim.Change{
+		{Op: fsim.OpAddNode, Label: "item"},
+		{Op: fsim.OpAddEdge, U: rival, V: item},
+	})
+	if err != nil {
+		panic(err)
+	}
+	after, _ := mt.Score(ada, rival)
+	fmt.Printf("after: %.2f\n", after)
+	// Output:
+	// before: 0.87
+	// after: 1.00
+}
+
 // ExampleResult_TopK runs a top-k similarity search, the paper's stated
 // future-work query mode, directly off a converged result.
 func ExampleResult_TopK() {

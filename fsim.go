@@ -58,6 +58,20 @@
 // candidate selectivity (Options.Theta, Options.UpperBoundOpt). See the
 // README's "Querying" section.
 //
+// # Dynamic graphs
+//
+// Graphs that change under serving traffic should not pay a full Compute
+// per update. A Maintainer (NewMaintainer) keeps the converged
+// self-similarity scores of an evolving graph incrementally: applying a
+// batch of changes (edge insertions/deletions, node insertions) patches
+// the candidate structures in place and re-converges only the update's
+// cone of influence through the delta worklist, instead of recomputing
+// from scratch. Incremental maintenance wins exactly when the candidate
+// map is selective (Options.Theta, Options.UpperBoundOpt) so the cone
+// stays local; on a θ = 0 all-pairs universe the cone saturates and the
+// Maintainer honestly falls back to a full recompute. See the README's
+// "Dynamic graphs" section and the internal/dynamic package comment.
+//
 // Exact ("yes-or-no") χ-simulation checks, strong simulation,
 // k-bisimulation signatures and the WL test live alongside the fractional
 // framework; SimRank and RoleSim are available as framework presets
@@ -68,7 +82,10 @@
 package fsim
 
 import (
+	"io"
+
 	"fsim/internal/core"
+	"fsim/internal/dynamic"
 	"fsim/internal/exact"
 	"fsim/internal/graph"
 	"fsim/internal/query"
@@ -160,6 +177,58 @@ type QueryStats = query.Stats
 //	top, err := ix.TopK(u, 10)   // ranking identical to Compute + Result.TopK
 //	s, err := ix.Query(u, v)     // score identical to Result.Score(u, v)
 func NewIndex(g1, g2 *Graph, opts Options) (*Index, error) { return query.New(g1, g2, opts) }
+
+// Mutable is an editable graph for the dynamic-graph workload: node and
+// edge mutations in O(degree) with an append-only change log, and
+// O(|V|+|E|) snapshots into the immutable Graph.
+type Mutable = graph.Mutable
+
+// NewMutable returns an empty mutable graph.
+func NewMutable() *Mutable { return graph.NewMutable() }
+
+// MutableOf returns an independent mutable copy of g; node and label ids
+// carry over unchanged.
+func MutableOf(g *Graph) *Mutable { return graph.MutableOf(g) }
+
+// Change is one graph mutation ("+n <label>" / "+e <u> <v>" / "-e <u> <v>"
+// in the update-stream text form).
+type Change = graph.Change
+
+// ChangeOp identifies a Change's kind.
+type ChangeOp = graph.ChangeOp
+
+// The mutation kinds of the update-stream format.
+const (
+	OpAddNode    = graph.OpAddNode
+	OpAddEdge    = graph.OpAddEdge
+	OpRemoveEdge = graph.OpRemoveEdge
+)
+
+// ParseChange parses one update-stream line.
+func ParseChange(line string) (Change, error) { return graph.ParseChange(line) }
+
+// ReadChanges parses an update stream (one change per line; blank lines
+// and "#" comments skipped).
+func ReadChanges(r io.Reader) ([]Change, error) { return graph.ReadChanges(r) }
+
+// Maintainer incrementally maintains the self-similarity FSimχ scores of
+// an evolving graph: Apply mutates and re-converges only the update's
+// cone of influence, Score/TopK read the maintained result, and Index
+// exposes a live query index that stays valid across updates. Safe for
+// concurrent readers.
+type Maintainer = dynamic.Maintainer
+
+// MaintainStats reports one Maintainer.Apply's diagnostics (seed pairs,
+// cone and closure sizes, fallback flags, duration).
+type MaintainStats = dynamic.Stats
+
+// NewMaintainer computes the initial fixed point of g against itself and
+// returns a Maintainer holding it:
+//
+//	mt, err := fsim.NewMaintainer(g, opts)
+//	st, err := mt.Apply([]fsim.Change{{Op: fsim.OpAddEdge, U: u, V: v}})
+//	score, err := mt.Score(u, v) // identical to a fresh Compute on the mutated graph
+func NewMaintainer(g *Graph, opts Options) (*Maintainer, error) { return dynamic.New(g, opts) }
 
 // SimRank computes SimRank via the framework configuration of §4.3.
 func SimRank(g *Graph, decay float64, iters int) (*Result, error) {

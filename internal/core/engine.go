@@ -48,6 +48,15 @@ func Compute(g1, g2 *graph.Graph, opts Options) (*Result, error) {
 	return computeOn(cs, start)
 }
 
+// ComputeOn iterates Equation 3 to its fixed point over a prebuilt
+// candidate component, exactly like Compute but without re-enumerating the
+// candidate map. Callers that keep a long-lived CandidateSet (the query
+// index, the dynamic maintainer) use it to share one component between
+// batch computations, queries and in-place patches.
+func ComputeOn(cs *CandidateSet) (*Result, error) {
+	return computeOn(cs, time.Now())
+}
+
 // computeOn iterates Equation 3 to its fixed point over a prebuilt
 // candidate component.
 func computeOn(cs *CandidateSet, start time.Time) (*Result, error) {

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fsim/internal/graph"
+	"fsim/internal/pairbits"
+	"fsim/internal/strsim"
+)
+
+// ErrStoreShape is returned by Patch when the mutated pair universe crosses
+// Options.DenseCapPairs, which would flip the candidate store between its
+// dense and sparse representations. Patching across that boundary is not
+// supported; rebuild the component with NewCandidateSet instead.
+var ErrStoreShape = errors.New("core: patch would flip the candidate store shape; rebuild with NewCandidateSet")
+
+// StandInChange records one §3.4 stand-in constant that changed during a
+// Patch: the pair's new stand-in score (α·FSim̄ under the updated bound), or
+// 0 when the pair no longer holds one (un-pruned, or promoted to a
+// candidate).
+type StandInChange struct {
+	Key     pairbits.Key
+	StandIn float64
+}
+
+// PatchDelta reports what one Patch changed, for consumers that maintain
+// structures derived from the candidate component (score stores, query
+// indexes): candidate pairs that entered or left Hc, stand-in constants
+// that changed, and the node-count growth. All lists are key-sorted.
+type PatchDelta struct {
+	OldN1, OldN2 int
+	N1, N2       int
+	// Added and Removed are the pairs that entered/left the candidate map.
+	Added, Removed []pairbits.Key
+	// StandIns lists the pruned pairs whose constant §3.4 stand-in changed
+	// (only populated when UpperBoundOpt.Alpha > 0 — otherwise no stand-ins
+	// are retained at all).
+	StandIns []StandInChange
+}
+
+// Empty reports whether the patch changed neither membership, stand-ins
+// nor node counts.
+func (d *PatchDelta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.StandIns) == 0 &&
+		d.OldN1 == d.N1 && d.OldN2 == d.N2
+}
+
+// Patch updates the candidate component in place for a mutated graph pair,
+// re-deciding membership and §3.4 bounds only for the pairs an update can
+// affect instead of re-enumerating the full universe. (g1, g2) must extend
+// the graphs the set was built on: nodes and labels are append-only, and
+// existing nodes keep their labels — exactly what graph.Mutable snapshots
+// guarantee. touched1/touched2 must list every pre-existing node of each
+// side whose adjacency changed; new nodes are always treated as touched.
+//
+// Because label similarities of existing pairs cannot change, membership
+// and bounds can only shift for pairs with a touched row or column — Eq. 6
+// reads only the pair's own neighborhoods — so Patch re-evaluates exactly
+// those rows and columns: O((|touched|+new)·(|V1|+|V2|)) candidate
+// decisions plus O(|Hc|) structural splicing, versus O(|V1|·|V2|)
+// decisions for a rebuild.
+//
+// Patching invalidates Results previously computed on this set (their
+// Score accessors read the set's layout); a dynamic.Maintainer keeps its
+// own score store for exactly that reason. Concurrent readers must be
+// excluded while Patch runs (query.Index.Apply write-locks).
+func (cs *CandidateSet) Patch(g1, g2 *graph.Graph, touched1, touched2 []graph.NodeID) (*PatchDelta, error) {
+	if g1 == nil || g2 == nil {
+		return nil, errors.New("core: nil graph")
+	}
+	n1, n2 := g1.NumNodes(), g2.NumNodes()
+	if n1 < cs.n1 || n2 < cs.n2 {
+		return nil, fmt.Errorf("core: patch graphs must extend the originals: |V1| %d->%d, |V2| %d->%d",
+			cs.n1, n1, cs.n2, n2)
+	}
+	if cs.opts.PinDiagonal && n1 != n2 {
+		return nil, fmt.Errorf("core: PinDiagonal needs equally sized graphs, got |V1|=%d |V2|=%d", n1, n2)
+	}
+	if dense := n1*n2 <= cs.opts.DenseCapPairs; dense != cs.dense {
+		return nil, ErrStoreShape
+	}
+	if err := checkExtends(cs.g1, g1); err != nil {
+		return nil, err
+	}
+	if err := checkExtends(cs.g2, g2); err != nil {
+		return nil, err
+	}
+
+	delta := &PatchDelta{OldN1: cs.n1, OldN2: cs.n2, N1: n1, N2: n2}
+	oldN1, oldN2 := cs.n1, cs.n2
+	oldBits, oldIndex := cs.candBits, cs.index
+	oldContains := func(u, v graph.NodeID) bool {
+		if cs.allPairs {
+			return true
+		}
+		if cs.dense {
+			return oldBits.Get(int(u)*oldN2 + int(v))
+		}
+		_, ok := oldIndex[pairbits.MakeKey(u, v)]
+		return ok
+	}
+	oldBound := func(k pairbits.Key) (float64, bool) {
+		if cs.prunedUB != nil {
+			b, ok := cs.prunedUB[k]
+			return b, ok
+		}
+		i := sort.Search(len(cs.prunedList), func(i int) bool { return cs.prunedList[i].k >= k })
+		if i < len(cs.prunedList) && cs.prunedList[i].k == k {
+			return cs.prunedList[i].bound, true
+		}
+		return 0, false
+	}
+
+	// Swap in the mutated graphs and extend the label caches; the
+	// similarity table is quadratic in labels only, so it is rebuilt
+	// whenever the vocabulary grew.
+	relabeled := g1.NumLabels() != cs.g1.NumLabels() || g2.NumLabels() != cs.g2.NumLabels()
+	cs.g1, cs.g2 = g1, g2
+	cs.n1, cs.n2 = n1, n2
+	for u := oldN1; u < n1; u++ {
+		cs.labels1 = append(cs.labels1, g1.Label(graph.NodeID(u)))
+	}
+	for v := oldN2; v < n2; v++ {
+		cs.labels2 = append(cs.labels2, g2.Label(graph.NodeID(v)))
+	}
+	if relabeled {
+		cs.table = strsim.NewTable(cs.opts.Label, g1.LabelNames(), g2.LabelNames())
+	}
+
+	if cs.allPairs {
+		// θ = 0 without pruning: every pair, including the new rows and
+		// columns, is a candidate by construction — nothing to splice.
+		return delta, nil
+	}
+
+	// Re-decide membership for every pair with a touched row or column.
+	inRow := make([]bool, n1)
+	var rows []int
+	for _, u := range touched1 {
+		if int(u) < n1 && !inRow[u] {
+			inRow[u] = true
+			rows = append(rows, int(u))
+		}
+	}
+	for u := oldN1; u < n1; u++ {
+		if !inRow[u] {
+			inRow[u] = true
+			rows = append(rows, u)
+		}
+	}
+	inCol := make([]bool, n2)
+	var cols []int
+	for _, v := range touched2 {
+		if int(v) < n2 && !inCol[v] {
+			inCol[v] = true
+			cols = append(cols, int(v))
+		}
+	}
+	for v := oldN2; v < n2; v++ {
+		if !inCol[v] {
+			inCol[v] = true
+			cols = append(cols, v)
+		}
+	}
+
+	ub := cs.opts.UpperBoundOpt
+	alpha := 0.0
+	if ub != nil {
+		alpha = ub.Alpha
+	}
+	keepBounds := alpha > 0
+	type prunedChange struct {
+		k     pairbits.Key
+		bound float64
+		keep  bool
+	}
+	var prunedChanges []prunedChange
+	prunedDelta := 0
+
+	eval := func(u, v graph.NodeID) {
+		k := pairbits.MakeKey(u, v)
+		exists := int(u) < oldN1 && int(v) < oldN2
+		wasCand := exists && oldContains(u, v)
+		ok, bound, pruned := cs.candidate(u, v)
+		if ok != wasCand {
+			if ok {
+				delta.Added = append(delta.Added, k)
+			} else {
+				delta.Removed = append(delta.Removed, k)
+			}
+		}
+		// A pre-existing non-candidate that passes the (unchanged) label
+		// constraint can only have been removed by §3.4 pruning.
+		wasPruned := exists && !wasCand && ub != nil && cs.eligible(u, v)
+		if pruned && !wasPruned {
+			prunedDelta++
+		} else if !pruned && wasPruned {
+			prunedDelta--
+		}
+		if !keepBounds {
+			return
+		}
+		switch {
+		case pruned && !wasPruned:
+			prunedChanges = append(prunedChanges, prunedChange{k, bound, true})
+			delta.StandIns = append(delta.StandIns, StandInChange{k, alpha * bound})
+		case !pruned && wasPruned:
+			prunedChanges = append(prunedChanges, prunedChange{k, 0, false})
+			delta.StandIns = append(delta.StandIns, StandInChange{k, 0})
+		case pruned && wasPruned:
+			if old, _ := oldBound(k); old != bound {
+				prunedChanges = append(prunedChanges, prunedChange{k, bound, true})
+				delta.StandIns = append(delta.StandIns, StandInChange{k, alpha * bound})
+			}
+		}
+	}
+
+	sort.Ints(rows)
+	sort.Ints(cols)
+	for _, u := range rows {
+		for v := 0; v < n2; v++ {
+			eval(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	for _, v := range cols {
+		for u := 0; u < n1; u++ {
+			if !inRow[u] {
+				eval(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+	}
+
+	sortKeys(delta.Added)
+	sortKeys(delta.Removed)
+	sort.Slice(delta.StandIns, func(i, j int) bool { return delta.StandIns[i].Key < delta.StandIns[j].Key })
+	cs.prunedCount += prunedDelta
+
+	// Splice the sorted candidate list and rebuild the positional
+	// structures (row offsets plus the bitmap or hash index) in one linear
+	// pass. Layout work is O(|Hc|); no candidate decision is repeated.
+	if len(delta.Added) > 0 || len(delta.Removed) > 0 || n1 != oldN1 || n2 != oldN2 {
+		merged := make([]pairbits.Key, 0, len(cs.candPairs)+len(delta.Added)-len(delta.Removed))
+		ai, ri := 0, 0
+		for _, k := range cs.candPairs {
+			for ai < len(delta.Added) && delta.Added[ai] < k {
+				merged = append(merged, delta.Added[ai])
+				ai++
+			}
+			if ri < len(delta.Removed) && delta.Removed[ri] == k {
+				ri++
+				continue
+			}
+			merged = append(merged, k)
+		}
+		merged = append(merged, delta.Added[ai:]...)
+		cs.candPairs = merged
+
+		cs.rowOff = make([]int32, n1+1)
+		for _, k := range merged {
+			u, _ := k.Split()
+			cs.rowOff[int(u)+1]++
+		}
+		for u := 0; u < n1; u++ {
+			cs.rowOff[u+1] += cs.rowOff[u]
+		}
+		if cs.dense {
+			cs.candBits = pairbits.NewBitset(n1 * n2)
+			for _, k := range merged {
+				u, v := k.Split()
+				cs.candBits.Set(int(u)*n2 + int(v))
+			}
+		} else {
+			cs.index = make(map[pairbits.Key]int32, len(merged))
+			for pos, k := range merged {
+				cs.index[k] = int32(pos)
+			}
+		}
+	}
+
+	if keepBounds && len(prunedChanges) > 0 {
+		if !cs.dense {
+			for _, pc := range prunedChanges {
+				if pc.keep {
+					cs.prunedUB[pc.k] = pc.bound
+				} else {
+					delete(cs.prunedUB, pc.k)
+				}
+			}
+		} else {
+			sort.Slice(prunedChanges, func(i, j int) bool { return prunedChanges[i].k < prunedChanges[j].k })
+			merged := make([]prunedPair, 0, len(cs.prunedList)+len(prunedChanges))
+			ci := 0
+			for _, p := range cs.prunedList {
+				for ci < len(prunedChanges) && prunedChanges[ci].k < p.k {
+					if prunedChanges[ci].keep {
+						merged = append(merged, prunedPair{prunedChanges[ci].k, prunedChanges[ci].bound})
+					}
+					ci++
+				}
+				if ci < len(prunedChanges) && prunedChanges[ci].k == p.k {
+					if prunedChanges[ci].keep {
+						merged = append(merged, prunedPair{p.k, prunedChanges[ci].bound})
+					}
+					ci++
+					continue
+				}
+				merged = append(merged, p)
+			}
+			for ; ci < len(prunedChanges); ci++ {
+				if prunedChanges[ci].keep {
+					merged = append(merged, prunedPair{prunedChanges[ci].k, prunedChanges[ci].bound})
+				}
+			}
+			cs.prunedList = merged
+		}
+	}
+	return delta, nil
+}
+
+// checkExtends verifies the append-only contract between an original graph
+// and its mutated successor: existing nodes keep their labels and the
+// label vocabulary grows by appending.
+func checkExtends(old, cur *graph.Graph) error {
+	if old == cur {
+		return nil
+	}
+	if cur.NumLabels() < old.NumLabels() {
+		return fmt.Errorf("core: patch shrank the label vocabulary: %d -> %d", old.NumLabels(), cur.NumLabels())
+	}
+	for l := 0; l < old.NumLabels(); l++ {
+		if old.LabelName(graph.Label(l)) != cur.LabelName(graph.Label(l)) {
+			return fmt.Errorf("core: patch changed label %d: %q -> %q",
+				l, old.LabelName(graph.Label(l)), cur.LabelName(graph.Label(l)))
+		}
+	}
+	for u := 0; u < old.NumNodes(); u++ {
+		if old.Label(graph.NodeID(u)) != cur.Label(graph.NodeID(u)) {
+			return fmt.Errorf("core: patch relabeled node %d", u)
+		}
+	}
+	return nil
+}
+
+func sortKeys(ks []pairbits.Key) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+)
+
+// patchOptions cycles through variants, candidate shapes and both stores,
+// mirroring the query subsystem's property configuration.
+func patchOptions(seed int64) Options {
+	opts := DefaultOptions(exact.Variants[seed%4])
+	opts.Threads = 1
+	if seed%3 == 1 {
+		opts.Theta = 0.5
+	}
+	if seed%5 == 2 {
+		opts.UpperBoundOpt = &UpperBound{Alpha: 0.3, Beta: 0.4}
+	}
+	if seed%5 == 4 {
+		opts.UpperBoundOpt = &UpperBound{Alpha: 0, Beta: 0.5}
+	}
+	if seed%2 == 1 {
+		opts.DenseCapPairs = 1 // force the hash-map store
+	}
+	return opts
+}
+
+// randomMutation applies one random effective mutation to m and returns
+// the touched pre-existing nodes.
+func randomMutation(rng *rand.Rand, m *graph.Mutable) []graph.NodeID {
+	labels := []string{"a", "b", "c", "d"}
+	switch rng.Intn(10) {
+	case 0:
+		m.AddNode(labels[rng.Intn(len(labels))])
+		return nil
+	case 1, 2, 3:
+		// Remove a random existing edge, if any.
+		n := m.NumNodes()
+		for try := 0; try < 32; try++ {
+			u := graph.NodeID(rng.Intn(n))
+			if out := m.Out(u); len(out) > 0 {
+				v := out[rng.Intn(len(out))]
+				if _, err := m.RemoveEdge(u, v); err != nil {
+					panic(err)
+				}
+				return []graph.NodeID{u, v}
+			}
+		}
+		return nil
+	default:
+		n := m.NumNodes()
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if ok, err := m.AddEdge(u, v); err != nil {
+			panic(err)
+		} else if !ok {
+			return nil
+		}
+		return []graph.NodeID{u, v}
+	}
+}
+
+// TestPatchEquivalenceProperty drives random update streams over a mutable
+// graph and asserts after every batch that the patched CandidateSet is
+// indistinguishable from one rebuilt from scratch on the snapshot:
+// identical membership, enumeration order, stand-ins and counters.
+func TestPatchEquivalenceProperty(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + int(seed%6)
+		m := graph.MutableOf(dataset.RandomGraph(seed*37+1, n, 3*n, 3))
+		opts := patchOptions(seed)
+
+		g := m.Snapshot()
+		cs, err := NewCandidateSet(g, g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 6; step++ {
+			touched := map[graph.NodeID]bool{}
+			for i, k := 0, 1+rng.Intn(3); i < k; i++ {
+				for _, u := range randomMutation(rng, m) {
+					touched[u] = true
+				}
+			}
+			var touchedList []graph.NodeID
+			for u := range touched {
+				touchedList = append(touchedList, u)
+			}
+			g = m.Snapshot()
+			delta, err := cs.Patch(g, g, touchedList, touchedList)
+			if err != nil {
+				t.Fatalf("seed %d step %d: Patch: %v", seed, step, err)
+			}
+			fresh, err := NewCandidateSet(g, g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameCandidates(t, seed, step, cs, fresh)
+			if delta.N1 != g.NumNodes() || delta.N2 != g.NumNodes() {
+				t.Fatalf("seed %d step %d: delta sizes %d×%d, graph %d", seed, step, delta.N1, delta.N2, g.NumNodes())
+			}
+		}
+	}
+}
+
+// assertSameCandidates compares every observable of two candidate
+// components over the full pair universe.
+func assertSameCandidates(t *testing.T, seed int64, step int, got, want *CandidateSet) {
+	t.Helper()
+	if got.NumCandidates() != want.NumCandidates() {
+		t.Fatalf("seed %d step %d: %d candidates, fresh build %d",
+			seed, step, got.NumCandidates(), want.NumCandidates())
+	}
+	if got.PrunedCount() != want.PrunedCount() {
+		t.Fatalf("seed %d step %d: pruned count %d, fresh build %d",
+			seed, step, got.PrunedCount(), want.PrunedCount())
+	}
+	g1, g2 := want.Graphs()
+	for u := 0; u < g1.NumNodes(); u++ {
+		un := graph.NodeID(u)
+		for v := 0; v < g2.NumNodes(); v++ {
+			vn := graph.NodeID(v)
+			if got.Contains(un, vn) != want.Contains(un, vn) {
+				t.Fatalf("seed %d step %d: Contains(%d,%d) = %v, fresh build %v",
+					seed, step, u, v, got.Contains(un, vn), want.Contains(un, vn))
+			}
+			if !want.Contains(un, vn) {
+				if gs, ws := got.StandIn(un, vn), want.StandIn(un, vn); gs != ws {
+					t.Fatalf("seed %d step %d: StandIn(%d,%d) = %v, fresh build %v",
+						seed, step, u, v, gs, ws)
+				}
+			}
+		}
+		var gotRow, wantRow []graph.NodeID
+		got.ForEachCandidate(un, func(v graph.NodeID) { gotRow = append(gotRow, v) })
+		want.ForEachCandidate(un, func(v graph.NodeID) { wantRow = append(wantRow, v) })
+		if len(gotRow) != len(wantRow) {
+			t.Fatalf("seed %d step %d: row %d has %d candidates, fresh build %d",
+				seed, step, u, len(gotRow), len(wantRow))
+		}
+		for i := range gotRow {
+			if gotRow[i] != wantRow[i] {
+				t.Fatalf("seed %d step %d: row %d entry %d = %d, fresh build %d",
+					seed, step, u, i, gotRow[i], wantRow[i])
+			}
+		}
+	}
+}
+
+// TestPatchComputeEquivalence checks the end-to-end consequence: a
+// ComputeOn over a patched component produces bit-identical scores to a
+// fresh Compute on the mutated graph.
+func TestPatchComputeEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed + 500))
+		m := graph.MutableOf(dataset.RandomGraph(seed*91+7, 12, 36, 3))
+		opts := patchOptions(seed)
+		opts.Epsilon = 1e-300
+		opts.RelativeEps = false
+		opts.MaxIters = 12
+
+		g := m.Snapshot()
+		cs, err := NewCandidateSet(g, g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		touched := map[graph.NodeID]bool{}
+		for i := 0; i < 4; i++ {
+			for _, u := range randomMutation(rng, m) {
+				touched[u] = true
+			}
+		}
+		var touchedList []graph.NodeID
+		for u := range touched {
+			touchedList = append(touchedList, u)
+		}
+		g = m.Snapshot()
+		if _, err := cs.Patch(g, g, touchedList, touchedList); err != nil {
+			t.Fatal(err)
+		}
+		patched, err := ComputeOn(cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Compute(g, g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < g.NumNodes(); u++ {
+			for v := 0; v < g.NumNodes(); v++ {
+				un, vn := graph.NodeID(u), graph.NodeID(v)
+				if patched.Score(un, vn) != fresh.Score(un, vn) {
+					t.Fatalf("seed %d: Score(%d,%d) = %v on patched set, fresh Compute %v",
+						seed, u, v, patched.Score(un, vn), fresh.Score(un, vn))
+				}
+			}
+		}
+	}
+}
+
+// TestPatchErrors covers the contract violations Patch must reject.
+func TestPatchErrors(t *testing.T) {
+	g := dataset.RandomGraph(3, 8, 20, 2)
+	opts := DefaultOptions(exact.BJ)
+
+	cs, err := NewCandidateSet(g, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smaller := dataset.RandomGraph(4, 4, 6, 2)
+	if _, err := cs.Patch(smaller, smaller, nil, nil); err == nil {
+		t.Fatal("Patch accepted a shrunken graph")
+	}
+	if _, err := cs.Patch(nil, nil, nil, nil); err == nil {
+		t.Fatal("Patch accepted nil graphs")
+	}
+
+	// Crossing the dense cap must be refused with the sentinel.
+	capped := opts
+	capped.DenseCapPairs = g.NumNodes()*g.NumNodes() + 5
+	cs2, err := NewCandidateSet(g, g, capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := graph.MutableOf(g)
+	m.AddNode("x")
+	grown := m.Snapshot()
+	if _, err := cs2.Patch(grown, grown, nil, nil); !errors.Is(err, ErrStoreShape) {
+		t.Fatalf("expected ErrStoreShape, got %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package dynamic
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+)
+
+// TestConcurrentReadersDuringUpdates races Score/TopK readers and live
+// Index queries against a stream of Apply calls under the race detector.
+// Readers must always observe a consistent snapshot (scores in [0,1],
+// queries answering without error on in-range nodes).
+func TestConcurrentReadersDuringUpdates(t *testing.T) {
+	g := dataset.RandomGraph(21, 16, 48, 3)
+	opts := core.DefaultOptions(exact.BJ)
+	opts.Theta = 0.4
+	opts.Threads = 2
+	opts.Epsilon = 1e-300
+	opts.RelativeEps = false
+	opts.MaxIters = 8
+
+	mt, err := New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g.NumNodes() // updates below never add nodes, so ids stay valid
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := graph.NodeID(rng.Intn(base))
+				v := graph.NodeID(rng.Intn(base))
+				s, err := mt.Score(u, v)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if s < 0 || s > 1+1e-12 {
+					t.Errorf("Score(%d,%d) = %v out of range", u, v, s)
+					return
+				}
+				if _, err := mt.TopK(u, 3); err != nil {
+					errs <- err
+					return
+				}
+				if r%2 == 0 {
+					if _, err := mt.Index().Query(u, v); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 25; i++ {
+		var batch []graph.Change
+		for j := 0; j < 2; j++ {
+			op := graph.OpAddEdge
+			if rng.Intn(2) == 0 {
+				op = graph.OpRemoveEdge
+			}
+			batch = append(batch, graph.Change{Op: op,
+				U: graph.NodeID(rng.Intn(base)), V: graph.NodeID(rng.Intn(base))})
+		}
+		if _, err := mt.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After the dust settles the maintained scores equal a fresh Compute.
+	cur := mt.Graph()
+	fresh, err := core.Compute(cur, cur, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < cur.NumNodes(); u++ {
+		for v := 0; v < cur.NumNodes(); v++ {
+			got, err := mt.Score(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fresh.Score(graph.NodeID(u), graph.NodeID(v)); got != want {
+				t.Fatalf("post-race Score(%d,%d) = %v, fresh %v", u, v, got, want)
+			}
+		}
+	}
+}

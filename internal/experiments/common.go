@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
 	"strings"
 	"time"
 	"unicode/utf8"
@@ -69,6 +68,7 @@ func Registry() []struct {
 		{"table9", "graph alignment F1", Table9},
 		{"delta", "worklist delta convergence vs full recomputation", Delta},
 		{"topk", "single-source top-k queries vs full computation", TopK},
+		{"dynamic", "incremental maintenance under update streams vs full recompute", Dynamic},
 	}
 }
 
@@ -214,15 +214,5 @@ func dur(d time.Duration) string {
 
 // variantLabels renders the four χ names in paper order.
 var variantOrder = []exact.Variant{exact.S, exact.DP, exact.B, exact.BJ}
-
-// sortedKeys is a generic-free helper for deterministic map iteration.
-func sortedKeys(m map[string]float64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
 
 var _ = strsim.Indicator // referenced by sibling files

@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the evaluation section must be present,
 	// plus the repo's own delta-convergence and top-k query benchmarks.
 	want := []string{"table2", "table5", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta", "topk"}
+		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta", "topk", "dynamic"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -180,6 +180,70 @@ func TestDeltaExperiment(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "delta-approx") {
 		t.Fatalf("table output incomplete:\n%s", buf.String())
+	}
+}
+
+// TestDynamicExperiment runs the incremental-maintenance benchmark at
+// smoke size and validates the BENCH_dynamic.json artifact: the serving
+// configuration must absorb both update phases with exact scores, and its
+// mean cone of influence must stay a strict subset of the candidate map.
+func TestDynamicExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.JSONDir = t.TempDir()
+	if err := Dynamic(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_dynamic.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Configs []struct {
+			Name       string `json:"name"`
+			Candidates int    `json:"candidates"`
+			Runs       []struct {
+				Mode           string  `json:"mode"`
+				Updates        int     `json:"updates"`
+				MeanCone       int     `json:"mean_cone"`
+				FullFallbacks  int     `json:"full_fallbacks"`
+				Batches        int     `json:"batches"`
+				MaxDiffVsFresh float64 `json:"max_diff_vs_fresh"`
+			} `json:"runs"`
+		} `json:"configs"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	foundServing := false
+	for _, c := range report.Configs {
+		if c.Name != "serving" {
+			continue
+		}
+		foundServing = true
+		if len(c.Runs) != 2 {
+			t.Fatalf("serving config has %d runs, want 2 (single + batch)", len(c.Runs))
+		}
+		for _, run := range c.Runs {
+			if run.Updates == 0 {
+				t.Errorf("serving %s phase applied no updates", run.Mode)
+			}
+			// The pinned iteration budget makes maintenance exact; the
+			// dense store at smoke size makes it bit-exact.
+			if run.MaxDiffVsFresh != 0 {
+				t.Errorf("serving %s phase deviated from fresh Compute by %v", run.Mode, run.MaxDiffVsFresh)
+			}
+			if run.FullFallbacks < run.Batches && (run.MeanCone <= 0 || run.MeanCone >= c.Candidates) {
+				t.Errorf("serving %s phase: mean cone %d of %d candidates, want a strict nonempty subset",
+					run.Mode, run.MeanCone, c.Candidates)
+			}
+		}
+	}
+	if !foundServing {
+		t.Fatal("serving configuration missing from report")
+	}
+	if !strings.Contains(buf.String(), "BENCH_dynamic.json") {
+		t.Fatal("experiment did not report the artifact path")
 	}
 }
 

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ChangeOp identifies one kind of graph mutation.
+type ChangeOp uint8
+
+const (
+	// OpAddNode appends a node; Change.Label carries its label.
+	OpAddNode ChangeOp = iota
+	// OpAddEdge inserts the directed edge (U, V).
+	OpAddEdge
+	// OpRemoveEdge deletes the directed edge (U, V).
+	OpRemoveEdge
+)
+
+func (op ChangeOp) String() string {
+	switch op {
+	case OpAddNode:
+		return "+n"
+	case OpAddEdge:
+		return "+e"
+	case OpRemoveEdge:
+		return "-e"
+	}
+	return fmt.Sprintf("ChangeOp(%d)", uint8(op))
+}
+
+// Change is one entry of a graph change log. The text form mirrors the
+// graph format's directives, signed by direction:
+//
+//	+n <label>       add a node (ids assigned in order, like "n")
+//	+e <u> <v>       add a directed edge
+//	-e <u> <v>       remove a directed edge
+//	# ...            comment
+//
+// Like node declarations, labels may contain spaces; everything after
+// "+n " is the label.
+type Change struct {
+	Op    ChangeOp
+	U, V  NodeID // edge endpoints (OpAddEdge, OpRemoveEdge)
+	Label string // node label (OpAddNode)
+}
+
+// String renders the change in the update-stream text form.
+func (c Change) String() string {
+	if c.Op == OpAddNode {
+		if c.Label == "" {
+			return "+n"
+		}
+		return "+n " + c.Label
+	}
+	return fmt.Sprintf("%s %d %d", c.Op, c.U, c.V)
+}
+
+// ParseChange parses one non-empty, non-comment line of an update stream.
+// Endpoint ids are validated for syntax only; range checking happens when
+// the change is applied to a concrete graph.
+func ParseChange(line string) (Change, error) {
+	switch {
+	case line == "+n" || strings.HasPrefix(line, "+n "):
+		return Change{Op: OpAddNode, Label: strings.TrimSpace(strings.TrimPrefix(line, "+n"))}, nil
+	case strings.HasPrefix(line, "+e "), strings.HasPrefix(line, "-e "):
+		op := OpAddEdge
+		if line[0] == '-' {
+			op = OpRemoveEdge
+		}
+		fields := strings.Fields(line[2:])
+		if len(fields) != 2 {
+			return Change{}, fmt.Errorf("graph: want '%s <u> <v>', got %q", op, line)
+		}
+		// ParseInt at 32 bits keeps ids inside the NodeID range; larger
+		// values must be rejected here, not silently wrapped.
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return Change{}, fmt.Errorf("graph: bad endpoint in %q: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return Change{}, fmt.Errorf("graph: bad endpoint in %q: %v", line, err)
+		}
+		if u < 0 || v < 0 {
+			return Change{}, fmt.Errorf("graph: negative endpoint in %q", line)
+		}
+		return Change{Op: op, U: NodeID(u), V: NodeID(v)}, nil
+	}
+	return Change{}, fmt.Errorf("graph: unknown update directive %q", line)
+}
+
+// ReadChanges parses an update stream: one change per line, with blank
+// lines and "#" comments skipped.
+func ReadChanges(r io.Reader) ([]Change, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []Change
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := ParseChange(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteChanges renders a change log in the update-stream text form.
+func WriteChanges(w io.Writer, changes []Change) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range changes {
+		if _, err := fmt.Fprintln(bw, c.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseChanges fuzzes the update-stream parser ("+n" / "+e" / "-e"
+// lines) with untrusted input. The parser must never panic; accepted
+// streams must survive a WriteChanges → ReadChanges round trip unchanged,
+// and applying them to an empty Mutable must never corrupt it (range
+// errors are fine, panics are not). `go test` runs the seed corpus below,
+// so this doubles as a malformed-input regression suite in CI.
+func FuzzParseChanges(f *testing.F) {
+	seeds := []string{
+		// The canonical stream shapes.
+		"+n person\n+n post\n+e 0 1\n",
+		"+n a\n+n b\n+e 0 1\n-e 0 1\n+e 1 0\n",
+		// Labels with spaces, an empty label, a comment-like label.
+		"+n hello world\n+n\n+n # not a comment\n+e 0 2\n",
+		// Whitespace and blank-line tolerance.
+		"\n\n  +n x  \n\t+n y\t\n +e 0 1 \n",
+		// Redundant changes an applier must treat as no-ops.
+		"+n a\n+e 0 0\n+e 0 0\n-e 0 0\n-e 0 0\n",
+		// Malformed inputs the parser must reject cleanly.
+		"+e 0\n",                      // missing endpoint
+		"+e 0 1 2\n",                  // extra endpoint
+		"-e zero one\n",               // non-numeric endpoints
+		"+e -1 0\n",                   // negative id
+		"n a\n",                       // graph directive, not an update
+		"-n 0\n",                      // node removal is not in the format
+		"+x 1 2\n",                    // unknown directive
+		"+e 99999999999999999999 0\n", // overflow
+		strings.Repeat("+n q\n", 50) + "+e 49 0\n-e 3 17\n",
+		"+n \x00weird\n+e 0 0\n", // control bytes in a label
+		"# only a comment\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		changes, err := ReadChanges(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted streams round-trip through the writer unchanged.
+		var buf bytes.Buffer
+		if err := WriteChanges(&buf, changes); err != nil {
+			t.Fatalf("WriteChanges failed on accepted stream: %v", err)
+		}
+		again, err := ReadChanges(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ninput: %q\nwritten: %q", err, data, buf.String())
+		}
+		if len(again) != len(changes) {
+			t.Fatalf("round trip changed length: %d -> %d", len(changes), len(again))
+		}
+		for i := range changes {
+			if again[i] != changes[i] {
+				t.Fatalf("round trip changed entry %d: %+v -> %+v", i, changes[i], again[i])
+			}
+		}
+		// Applying an accepted stream must never corrupt a Mutable: every
+		// change either takes effect, no-ops, or fails with a range error.
+		m := NewMutable()
+		for _, c := range changes {
+			if _, err := m.Apply(c); err != nil {
+				continue
+			}
+		}
+		g := m.Snapshot()
+		if g.NumNodes() != m.NumNodes() || g.NumEdges() != m.NumEdges() {
+			t.Fatalf("snapshot shape %d/%d diverges from mutable %d/%d",
+				g.NumNodes(), g.NumEdges(), m.NumNodes(), m.NumEdges())
+		}
+		n := g.NumNodes()
+		g.Edges(func(u, v NodeID) bool {
+			if int(u) < 0 || int(u) >= n || int(v) < 0 || int(v) >= n {
+				t.Fatalf("edge (%d,%d) out of range for %d nodes", u, v, n)
+			}
+			return true
+		})
+	})
+}

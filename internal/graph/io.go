@@ -55,11 +55,13 @@ func Read(r io.Reader) (*Graph, error) {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("graph: line %d: want 'e <u> <v>', got %q", lineNo, line)
 			}
-			u, err := strconv.Atoi(fields[0])
+			// ParseInt at 32 bits keeps ids inside the NodeID range; larger
+			// values must be rejected, not wrapped onto a valid node.
+			u, err := strconv.ParseInt(fields[0], 10, 32)
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
 			}
-			v, err := strconv.Atoi(fields[1])
+			v, err := strconv.ParseInt(fields[1], 10, 32)
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
 			}

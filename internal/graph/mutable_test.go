@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMutableSnapshotEquivalence drives random interleaved mutations and
+// checks every snapshot against a Builder-built reference graph.
+func TestMutableSnapshotEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMutable()
+		ref := NewBuilder()
+		labels := []string{"a", "b", "c", "long label"}
+		for i := 0; i < 5; i++ {
+			l := labels[rng.Intn(len(labels))]
+			m.AddNode(l)
+			ref.AddNode(l)
+		}
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(10) {
+			case 0:
+				l := labels[rng.Intn(len(labels))]
+				if got, want := m.AddNode(l), ref.AddNode(l); got != want {
+					t.Fatalf("seed %d: AddNode id %d, builder %d", seed, got, want)
+				}
+			case 1, 2:
+				u := NodeID(rng.Intn(m.NumNodes()))
+				v := NodeID(rng.Intn(m.NumNodes()))
+				had := m.HasEdge(u, v)
+				removed, err := m.RemoveEdge(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if removed != had {
+					t.Fatalf("seed %d: RemoveEdge(%d,%d) = %v, HasEdge said %v", seed, u, v, removed, had)
+				}
+				ref.RemoveEdge(u, v)
+			default:
+				u := NodeID(rng.Intn(m.NumNodes()))
+				v := NodeID(rng.Intn(m.NumNodes()))
+				had := m.HasEdge(u, v)
+				added, err := m.AddEdge(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if added == had {
+					t.Fatalf("seed %d: AddEdge(%d,%d) = %v with HasEdge %v", seed, u, v, added, had)
+				}
+				if !had {
+					ref.MustAddEdge(u, v)
+				}
+			}
+			if step%40 != 0 {
+				continue
+			}
+			got, want := m.Snapshot(), ref.Build()
+			assertSameGraph(t, got, want)
+		}
+		assertSameGraph(t, m.Snapshot(), ref.Build())
+	}
+}
+
+func assertSameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d nodes, %d/%d edges",
+			got.NumNodes(), want.NumNodes(), got.NumEdges(), want.NumEdges())
+	}
+	for u := 0; u < got.NumNodes(); u++ {
+		un := NodeID(u)
+		if got.NodeLabelName(un) != want.NodeLabelName(un) {
+			t.Fatalf("node %d label %q, want %q", u, got.NodeLabelName(un), want.NodeLabelName(un))
+		}
+		if !reflect.DeepEqual(got.Out(un), want.Out(un)) && (len(got.Out(un)) > 0 || len(want.Out(un)) > 0) {
+			t.Fatalf("node %d out-adjacency %v, want %v", u, got.Out(un), want.Out(un))
+		}
+		if !reflect.DeepEqual(got.In(un), want.In(un)) && (len(got.In(un)) > 0 || len(want.In(un)) > 0) {
+			t.Fatalf("node %d in-adjacency %v, want %v", u, got.In(un), want.In(un))
+		}
+	}
+}
+
+// TestMutableOf checks the round trip Graph -> Mutable -> Snapshot and the
+// independence of the copy.
+func TestMutableOf(t *testing.T) {
+	b := NewBuilder()
+	x := b.AddNode("x")
+	y := b.AddNode("y")
+	z := b.AddNode("z")
+	b.MustAddEdge(x, y)
+	b.MustAddEdge(y, z)
+	b.MustAddEdge(z, x)
+	g := b.Build()
+
+	m := MutableOf(g)
+	assertSameGraph(t, m.Snapshot(), g)
+	if len(m.Log()) != 0 {
+		t.Fatalf("fresh MutableOf log not empty: %v", m.Log())
+	}
+
+	if _, err := m.RemoveEdge(x, y); err != nil {
+		t.Fatal(err)
+	}
+	m.AddNode("x")
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatal("mutating the copy changed the source graph")
+	}
+	if got := m.Snapshot(); got.NumNodes() != 4 || got.NumEdges() != 2 {
+		t.Fatalf("mutated snapshot has %d nodes %d edges", got.NumNodes(), got.NumEdges())
+	}
+}
+
+// TestMutableLog checks that exactly the effective changes are logged and
+// that replaying the log reproduces the graph.
+func TestMutableLog(t *testing.T) {
+	m := NewMutable()
+	a := m.AddNode("a")
+	b := m.AddNode("b")
+	if ok, _ := m.AddEdge(a, b); !ok {
+		t.Fatal("first AddEdge not effective")
+	}
+	if ok, _ := m.AddEdge(a, b); ok {
+		t.Fatal("duplicate AddEdge reported effective")
+	}
+	if ok, _ := m.RemoveEdge(b, a); ok {
+		t.Fatal("removing absent edge reported effective")
+	}
+	if ok, _ := m.RemoveEdge(a, b); !ok {
+		t.Fatal("RemoveEdge not effective")
+	}
+	if _, err := m.AddEdge(a, 99); err == nil {
+		t.Fatal("out-of-range AddEdge accepted")
+	}
+
+	log := m.TakeLog()
+	want := []Change{
+		{Op: OpAddNode, Label: "a"},
+		{Op: OpAddNode, Label: "b"},
+		{Op: OpAddEdge, U: a, V: b},
+		{Op: OpRemoveEdge, U: a, V: b},
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	if len(m.Log()) != 0 {
+		t.Fatal("TakeLog did not reset the log")
+	}
+
+	replayed := NewMutable()
+	for _, c := range log {
+		if _, err := replayed.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSameGraph(t, replayed.Snapshot(), m.Snapshot())
+}
+
+// TestChangeStreamRoundTrip pins the text form of the update stream.
+func TestChangeStreamRoundTrip(t *testing.T) {
+	in := "# a comment\n+n person\n\n+n label with spaces\n  +e 0 1 \n-e 1 0\n+n\n"
+	changes, err := ReadChanges(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Change{
+		{Op: OpAddNode, Label: "person"},
+		{Op: OpAddNode, Label: "label with spaces"},
+		{Op: OpAddEdge, U: 0, V: 1},
+		{Op: OpRemoveEdge, U: 1, V: 0},
+		{Op: OpAddNode, Label: ""},
+	}
+	if !reflect.DeepEqual(changes, want) {
+		t.Fatalf("parsed %v, want %v", changes, want)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChanges(&buf, changes); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadChanges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, changes) {
+		t.Fatalf("round trip changed stream: %v -> %v", changes, again)
+	}
+
+	for _, bad := range []string{"e 0 1", "+e 0", "+e 0 1 2", "-e x y", "+e -1 0", "nonsense", "-n 0"} {
+		if _, err := ParseChange(bad); err == nil {
+			t.Errorf("ParseChange(%q) accepted malformed input", bad)
+		}
+	}
+}

@@ -24,9 +24,12 @@
 // FSimχ ≤ FSim̄, the pruned candidates can never appear in the exact
 // top-k, so the pruning is lossless.
 //
-// An Index is immutable after construction and safe for any number of
-// concurrent TopK/Query callers; per-query state lives in a pooled
-// scratch.
+// An Index is safe for any number of concurrent TopK/Query callers;
+// per-query state lives in a pooled scratch. On dynamic graphs an Index
+// stays live across mutations: Apply patches the shared candidate
+// component in place (see core.CandidateSet.Patch) and refreshes only the
+// affected stand-in rows, under a writer lock that excludes in-flight
+// queries.
 package query
 
 import (
@@ -36,19 +39,23 @@ import (
 
 	"fsim/internal/core"
 	"fsim/internal/graph"
+	"fsim/internal/pairbits"
 	"fsim/internal/stats"
 )
 
 // Index answers single-source FSimχ queries over a fixed graph pair and
 // option set. Build one with New; the zero value is not usable.
 type Index struct {
+	// mu excludes queries (readers) while Apply (the only writer) patches
+	// the candidate component; on a static graph it is never write-locked.
+	mu     sync.RWMutex
 	cs     *core.CandidateSet
 	n1, n2 int
 	// rowStandIns lists, per g1 node, the §3.4 stand-ins of its pruned
 	// pairs (nil when α = 0), so query states materialize a row slab by
 	// walking the candidate row instead of probing all |V2| pairs.
 	rowStandIns [][]standIn
-	pool        sync.Pool // *state
+	pool        *sync.Pool // *state
 }
 
 // standIn is one pruned pair's constant score within a row.
@@ -65,17 +72,132 @@ func New(g1, g2 *graph.Graph, opts core.Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{cs: cs}
-	g1, g2 = cs.Graphs()
+	return NewFromCandidates(cs), nil
+}
+
+// NewFromCandidates builds a query index over a prebuilt candidate
+// component, sharing it instead of re-enumerating: the dynamic maintainer
+// uses this to run batch computation, queries and in-place patches against
+// one component.
+func NewFromCandidates(cs *core.CandidateSet) *Index {
+	ix := &Index{}
+	ix.resetLocked(cs)
+	return ix
+}
+
+// ResetCandidates swaps the index onto a different candidate component,
+// rebuilding all derived state. It is the escape hatch for mutations Apply
+// cannot absorb in place (core.ErrStoreShape): the index object — and any
+// references callers hold to it — stays live across the rebuild.
+func (ix *Index) ResetCandidates(cs *core.CandidateSet) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.resetLocked(cs)
+}
+
+// resetLocked (re)derives every index structure from cs; callers hold the
+// write lock (or exclusive ownership during construction).
+func (ix *Index) resetLocked(cs *core.CandidateSet) {
+	ix.cs = cs
+	g1, g2 := cs.Graphs()
 	ix.n1, ix.n2 = g1.NumNodes(), g2.NumNodes()
+	ix.rowStandIns = nil
 	cs.ForEachPruned(func(u, v graph.NodeID, s float64) {
 		if ix.rowStandIns == nil {
 			ix.rowStandIns = make([][]standIn, ix.n1)
 		}
 		ix.rowStandIns[u] = append(ix.rowStandIns[u], standIn{v: v, score: s})
 	})
-	ix.pool.New = func() any { return newState(ix) }
-	return ix, nil
+	ix.pool = &sync.Pool{New: func() any { return newState(ix) }}
+}
+
+// Apply patches the index in place for a mutated graph pair, so a live
+// index stays valid across updates without a rebuild: the shared candidate
+// component is patched (core.CandidateSet.Patch — membership and §3.4
+// bounds re-decided only for touched rows and columns) and the per-row
+// stand-in lists are refreshed only where the patch changed a constant.
+// Queries block for the duration of the patch and see either the old or
+// the new graph, never a mix. The PatchDelta is returned for callers that
+// maintain further derived state (the dynamic maintainer's score store).
+//
+// On core.ErrStoreShape the index is unchanged; rebuild with New instead.
+func (ix *Index) Apply(g1, g2 *graph.Graph, touched1, touched2 []graph.NodeID) (*core.PatchDelta, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	delta, err := ix.cs.Patch(g1, g2, touched1, touched2)
+	if err != nil {
+		return nil, err
+	}
+	grown := delta.N1 != delta.OldN1 || delta.N2 != delta.OldN2
+	if grown {
+		// Pooled states size their row maps and slabs to the old node
+		// counts; drop them rather than resize piecemeal.
+		ix.n1, ix.n2 = delta.N1, delta.N2
+		ix.pool = &sync.Pool{New: func() any { return newState(ix) }}
+		if ix.rowStandIns != nil {
+			for len(ix.rowStandIns) < ix.n1 {
+				ix.rowStandIns = append(ix.rowStandIns, nil)
+			}
+		}
+	}
+	if len(delta.StandIns) > 0 && ix.rowStandIns == nil {
+		ix.rowStandIns = make([][]standIn, ix.n1)
+	}
+	for _, sc := range delta.StandIns {
+		u, v := sc.Key.Split()
+		row := ix.rowStandIns[u]
+		pos := -1
+		for i := range row {
+			if row[i].v == v {
+				pos = i
+				break
+			}
+		}
+		switch {
+		case sc.StandIn == 0:
+			if pos >= 0 {
+				row[pos] = row[len(row)-1]
+				ix.rowStandIns[u] = row[:len(row)-1]
+			}
+		case pos >= 0:
+			row[pos].score = sc.StandIn
+		default:
+			ix.rowStandIns[u] = append(row, standIn{v: v, score: sc.StandIn})
+		}
+	}
+	return delta, nil
+}
+
+// Replay runs one localized fresh fixed point seeded at the given
+// candidate pairs — their dependency closure is collected and iterated
+// exactly like a query — and streams every closure pair's final score to
+// fn in an unspecified order. The dynamic maintainer uses it to
+// re-converge only the neighborhood of a graph update: the scores fn
+// receives are the ones a from-scratch batch computation would assign
+// those pairs (bit-identical under a pinned iteration budget). Seeds that
+// are not candidate pairs are ignored.
+func (ix *Index) Replay(seeds []pairbits.Key, fn func(u, v graph.NodeID, score float64)) (Stats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s := ix.pool.Get().(*state)
+	defer ix.release(s)
+	for _, k := range seeds {
+		u, v := k.Split()
+		if ix.cs.Contains(u, v) {
+			s.addPair(u, v)
+		}
+	}
+	if len(s.pairs) == 0 {
+		return Stats{}, nil
+	}
+	s.closure()
+	st := s.run()
+	st.Seeds = len(seeds)
+	for _, k := range s.pairs {
+		u, v := k.Split()
+		fn(u, v, s.prevRows[s.rowOf[u]][v])
+	}
+	return st, nil
 }
 
 // Candidates exposes the shared candidate component.
@@ -108,6 +230,8 @@ func (ix *Index) TopK(u graph.NodeID, k int) ([]stats.Ranked, error) {
 
 // TopKStats is TopK with the query's computation diagnostics.
 func (ix *Index) TopKStats(u graph.NodeID, k int) ([]stats.Ranked, Stats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if int(u) < 0 || int(u) >= ix.n1 {
 		return nil, Stats{}, fmt.Errorf("query: node %d out of range [0,%d)", u, ix.n1)
 	}
@@ -153,6 +277,8 @@ func (ix *Index) Query(u, v graph.NodeID) (float64, error) {
 
 // QueryStats is Query with the query's computation diagnostics.
 func (ix *Index) QueryStats(u, v graph.NodeID) (float64, Stats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if int(u) < 0 || int(u) >= ix.n1 {
 		return 0, Stats{}, fmt.Errorf("query: node %d out of range [0,%d)", u, ix.n1)
 	}
