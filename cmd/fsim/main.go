@@ -14,7 +14,10 @@
 // while streaming updates ("+n <label>" / "+e <u> <v>" / "-e <u> <v>"
 // lines) from a file, or from stdin when the updates argument is "-": each
 // batch is absorbed by re-converging only its cone of influence, and the
-// per-update maintenance stats are reported as the stream progresses.
+// per-update maintenance stats are reported as the stream progresses. With
+// -stats, aggregate counters (batches, applied changes, localized replays
+// vs full recomputes, apply latency) are printed on exit for programmatic
+// progress observation.
 package main
 
 import (
@@ -24,8 +27,10 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"fsim"
+	"fsim/internal/stats"
 )
 
 func main() {
@@ -137,6 +142,7 @@ func watch(args []string) {
 	batch := fs.Int("batch", 1, "apply updates in batches of this size")
 	node := fs.Int("u", -1, "print this node's top matches after every batch")
 	topN := fs.Int("top", 5, "how many matches -u prints")
+	printStats := fs.Bool("stats", false, "print aggregate maintenance counters on exit")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: fsim watch [flags] <graph> <updates>  (updates = file or '-' for stdin)")
 		fs.PrintDefaults()
@@ -175,9 +181,29 @@ func watch(args []string) {
 		in = f
 	}
 
+	// Aggregate maintenance counters for -stats, accumulated through the
+	// serving layer's counter types (internal/stats).
+	var (
+		batches, applied, replays, fulls, rebuilds, iters stats.Counter
+		applyLatency                                      stats.Latency
+	)
+
 	report := func(pending []fsim.Change) {
 		st, err := mt.Apply(pending)
 		fatal(err)
+		batches.Inc()
+		applied.Add(int64(st.Applied))
+		iters.Add(int64(st.Iterations))
+		applyLatency.Observe(st.Duration)
+		switch {
+		case st.Applied == 0: // no-op batch: nothing was replayed
+		case st.Rebuilt:
+			rebuilds.Inc()
+		case st.Full:
+			fulls.Inc()
+		default:
+			replays.Inc()
+		}
 		mode := fmt.Sprintf("cone=%d closure=%d iters=%d", st.Cone, st.LocalPairs, st.Iterations)
 		if st.Full {
 			mode = "full recompute"
@@ -219,6 +245,13 @@ func watch(args []string) {
 		report(pending)
 	}
 	fmt.Fprintf(os.Stderr, "final: %s\n", mt.Graph().Stats())
+	if *printStats {
+		fmt.Fprintf(os.Stderr,
+			"stats: version=%d batches=%d applied=%d localized=%d full=%d rebuilds=%d iterations=%d mean-apply=%s max-apply=%s\n",
+			mt.Version(), batches.Value(), applied.Value(), replays.Value(), fulls.Value(),
+			rebuilds.Value(), iters.Value(),
+			applyLatency.Mean().Round(time.Microsecond), applyLatency.Max().Round(time.Microsecond))
+	}
 }
 
 func fatal(err error) {

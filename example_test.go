@@ -1,7 +1,11 @@
 package fsim_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 
 	"fsim"
 )
@@ -128,6 +132,70 @@ func ExampleMaintainer() {
 	// Output:
 	// before: 0.87
 	// after: 1.00
+}
+
+// ExampleServer puts the similarity engine behind the HTTP serving layer:
+// reads are answered through a graph-version-stamped result cache, update
+// batches bump the version, and every response reports the version its
+// scores were computed at — always exactly what a fresh Compute on that
+// snapshot would return.
+func ExampleServer() {
+	b := fsim.NewBuilder()
+	ada := b.AddNode("user")
+	b.MustAddEdge(ada, b.AddNode("item"))
+	b.MustAddEdge(ada, b.AddNode("item"))
+	rival := b.AddNode("user")
+	b.MustAddEdge(rival, b.AddNode("item"))
+	g := b.Build()
+
+	opts := fsim.DefaultOptions(fsim.BJ)
+	opts.Theta = 0.6 // selectivity keeps per-miss computations local
+	opts.Threads = 1
+	srv, err := fsim.NewServer(g, opts, fsim.ServerOptions{})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	topk := func() {
+		resp, err := http.Get(ts.URL + "/topk?u=0&k=2")
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		var tr struct {
+			GraphVersion uint64 `json:"graphVersion"`
+			Results      []struct {
+				Node  int     `json:"node"`
+				Score float64 `json:"score"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			panic(err)
+		}
+		fmt.Printf("version %d:\n", tr.GraphVersion)
+		for _, r := range tr.Results {
+			fmt.Printf("  node %d: %.2f\n", r.Node, r.Score)
+		}
+	}
+	topk()
+
+	// rival catches up: one update batch in the stream text format.
+	resp, err := http.Post(ts.URL+"/updates", "text/plain",
+		strings.NewReader("+n item\n+e 3 5\n"))
+	if err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	topk()
+	// Output:
+	// version 0:
+	//   node 0: 1.00
+	//   node 3: 0.87
+	// version 1:
+	//   node 0: 1.00
+	//   node 3: 1.00
 }
 
 // ExampleResult_TopK runs a top-k similarity search, the paper's stated

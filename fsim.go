@@ -72,6 +72,17 @@
 // Maintainer honestly falls back to a full recompute. See the README's
 // "Dynamic graphs" section and the internal/dynamic package comment.
 //
+// # Serving
+//
+// NewServer puts an Index + Maintainer pair behind an HTTP JSON API for
+// concurrent traffic: reads (GET /topk, GET /query) go through a
+// graph-version-stamped result cache with singleflight coalescing, writes
+// (POST /updates) stream update batches into the maintainer, and every
+// response carries the graph version its scores were computed at — always
+// exactly the scores a fresh Compute on that snapshot would return. See
+// the README's "Serving" section for the endpoints, the consistency
+// contract and the tuning knobs.
+//
 // Exact ("yes-or-no") χ-simulation checks, strong simulation,
 // k-bisimulation signatures and the WL test live alongside the fractional
 // framework; SimRank and RoleSim are available as framework presets
@@ -89,6 +100,7 @@ import (
 	"fsim/internal/exact"
 	"fsim/internal/graph"
 	"fsim/internal/query"
+	"fsim/internal/server"
 	"fsim/internal/stats"
 	"fsim/internal/strsim"
 )
@@ -229,6 +241,41 @@ type MaintainStats = dynamic.Stats
 //	st, err := mt.Apply([]fsim.Change{{Op: fsim.OpAddEdge, U: u, V: v}})
 //	score, err := mt.Score(u, v) // identical to a fresh Compute on the mutated graph
 func NewMaintainer(g *Graph, opts Options) (*Maintainer, error) { return dynamic.New(g, opts) }
+
+// Server is the HTTP JSON serving layer over a live Maintainer: GET /topk
+// and GET /query answer similarity reads through a graph-version-stamped
+// result cache with singleflight coalescing, POST /updates absorbs
+// update-stream batches, GET /healthz and GET /stats expose liveness and
+// serving counters. Every read response is stamped with the graph version
+// it was computed at, and its scores are exactly what a fresh Compute on
+// that snapshot would produce. Mount it on any http.Server and stop it
+// with Shutdown; see the README's "Serving" section.
+type Server = server.Server
+
+// ServerOptions tunes the serving layer: result-cache size and sharding,
+// request coalescing, the in-flight computation limit behind 429
+// admission control, and the update-body cap.
+type ServerOptions = server.Options
+
+// NewServer computes the initial fixed point of g against itself (the
+// expensive part of startup) and returns a Server serving it:
+//
+//	srv, err := fsim.NewServer(g, opts, fsim.ServerOptions{})
+//	http.ListenAndServe(":8080", srv)
+func NewServer(g *Graph, opts Options, sopts ServerOptions) (*Server, error) {
+	return server.New(g, opts, sopts)
+}
+
+// NewServerFromMaintainer wraps an existing Maintainer instead of building
+// one. The server takes ownership: it registers the maintainer's apply
+// hook for cache invalidation and closes the maintainer on Shutdown.
+func NewServerFromMaintainer(mt *Maintainer, sopts ServerOptions) *Server {
+	return server.NewFromMaintainer(mt, sopts)
+}
+
+// ErrMaintainerClosed is returned by Maintainer.Apply after Close (for a
+// Server: after Shutdown has drained it).
+var ErrMaintainerClosed = dynamic.ErrClosed
 
 // SimRank computes SimRank via the framework configuration of §4.3.
 func SimRank(g *Graph, decay float64, iters int) (*Result, error) {

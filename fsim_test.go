@@ -1,10 +1,13 @@
 package fsim
 
 import (
+	"bytes"
 	"math"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"fsim/internal/dataset"
 )
 
 // TestPublicAPIRoundTrip exercises the facade end to end: build, compute,
@@ -76,5 +79,27 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	}
 	if len(StrongSimulation(g, g)) == 0 {
 		t.Fatal("a graph should strongly match itself somewhere")
+	}
+}
+
+// TestFigure1Testdata pins testdata/figure1.txt — the graph file the CI
+// server-smoke job serves through fsimserve — to the programmatic Figure 1
+// builder, so the two cannot drift apart.
+func TestFigure1Testdata(t *testing.T) {
+	parsed, err := ReadGraphFile(filepath.Join("testdata", "figure1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dataset.NewFigure1().G2
+	var gotBuf, wantBuf bytes.Buffer
+	if err := parsed.Write(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Write(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	if gotBuf.String() != wantBuf.String() {
+		t.Fatalf("testdata/figure1.txt diverged from dataset.NewFigure1().G2:\n--- file ---\n%s\n--- builder ---\n%s",
+			gotBuf.String(), wantBuf.String())
 	}
 }

@@ -1,0 +1,178 @@
+package dynamic
+
+import (
+	"errors"
+	"testing"
+
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+)
+
+// TestMaintainerMalformedChanges covers the rejection and no-op paths
+// beyond the happy-path property suite: unknown ops, edges referencing
+// missing nodes, and removals of absent edges.
+func TestMaintainerMalformedChanges(t *testing.T) {
+	g := dataset.RandomGraph(17, 8, 20, 2)
+	opts := core.DefaultOptions(exact.BJ)
+	opts.Threads = 1
+	mt, err := New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := graph.NodeID(g.NumNodes())
+
+	// Unknown op: rejected before anything mutates.
+	if _, err := mt.Apply([]graph.Change{{Op: graph.ChangeOp(99), U: 0, V: 1}}); err == nil {
+		t.Fatal("unknown change op accepted")
+	}
+	// Edge endpoints referencing a missing node: rejected atomically, for
+	// both insertion and removal, at either endpoint.
+	for _, c := range []graph.Change{
+		{Op: graph.OpAddEdge, U: n, V: 0},
+		{Op: graph.OpAddEdge, U: 0, V: n + 5},
+		{Op: graph.OpRemoveEdge, U: n, V: 0},
+		{Op: graph.OpRemoveEdge, U: 0, V: -1},
+	} {
+		if _, err := mt.Apply([]graph.Change{c}); err == nil {
+			t.Fatalf("out-of-range change %v accepted", c)
+		}
+	}
+	if mt.Version() != 0 {
+		t.Fatalf("rejected batches bumped version to %d", mt.Version())
+	}
+
+	// Removing an absent (but in-range) edge is a no-op, not an error: the
+	// batch applies zero changes and leaves the version alone.
+	var missing graph.Change
+	found := false
+	for u := graph.NodeID(0); u < n && !found; u++ {
+		for v := graph.NodeID(0); v < n; v++ {
+			if !g.HasEdge(u, v) {
+				missing = graph.Change{Op: graph.OpRemoveEdge, U: u, V: v}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("test graph is complete; cannot pick a missing edge")
+	}
+	st, err := mt.Apply([]graph.Change{missing})
+	if err != nil {
+		t.Fatalf("removing an absent edge errored: %v", err)
+	}
+	if st.Applied != 0 || st.Version != 0 {
+		t.Fatalf("no-op removal: applied=%d version=%d, want 0/0", st.Applied, st.Version)
+	}
+}
+
+// TestMaintainerClose pins the shutdown semantics the serving layer drains
+// through: Apply after Close fails with ErrClosed without mutating, Close
+// is idempotent, and reads keep serving the final snapshot.
+func TestMaintainerClose(t *testing.T) {
+	g := dataset.RandomGraph(19, 8, 20, 2)
+	opts := core.DefaultOptions(exact.BJ)
+	opts.Threads = 1
+	mt, err := New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := mt.Score(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := mt.Apply([]graph.Change{{Op: graph.OpAddEdge, U: 0, V: 1}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Apply after Close: %v, want ErrClosed", err)
+	}
+	if err := mt.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// Reads keep serving the final snapshot.
+	after, err := mt.Score(0, 1)
+	if err != nil || after != before {
+		t.Fatalf("Score after Close: (%v, %v), want (%v, nil)", after, err, before)
+	}
+	if _, err := mt.TopK(0, 3); err != nil {
+		t.Fatalf("TopK after Close: %v", err)
+	}
+	if _, err := mt.Index().TopK(0, 3); err != nil {
+		t.Fatalf("Index query after Close: %v", err)
+	}
+	if mt.Version() != 0 {
+		t.Fatalf("closed maintainer version %d, want 0", mt.Version())
+	}
+}
+
+// TestMaintainerApplyHookAndVersion pins the serving integration points:
+// versions count effective batches only, Stats.Version matches Version(),
+// and the apply hook observes every effective batch exactly once.
+func TestMaintainerApplyHookAndVersion(t *testing.T) {
+	g := dataset.RandomGraph(23, 8, 20, 2)
+	opts := core.DefaultOptions(exact.BJ)
+	opts.Threads = 1
+	mt, err := New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type hookCall struct {
+		version uint64
+		applied int
+	}
+	var calls []hookCall
+	mt.SetApplyHook(func(version uint64, st Stats) {
+		calls = append(calls, hookCall{version, st.Applied})
+	})
+
+	// Effective batch: hook fires, version bumps.
+	var add graph.Change
+	for u := graph.NodeID(0); ; u++ {
+		if !g.HasEdge(u, (u+3)%8) && u != (u+3)%8 {
+			add = graph.Change{Op: graph.OpAddEdge, U: u, V: (u + 3) % 8}
+			break
+		}
+	}
+	st, err := mt.Apply([]graph.Change{add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != 1 || mt.Version() != 1 {
+		t.Fatalf("after first batch: Stats.Version=%d Version()=%d, want 1/1", st.Version, mt.Version())
+	}
+	// No-op batch: no hook, no bump.
+	if _, err := mt.Apply([]graph.Change{add}); err != nil {
+		t.Fatal(err)
+	}
+	// Rejected batch: no hook, no bump.
+	if _, err := mt.Apply([]graph.Change{{Op: graph.OpAddEdge, U: 0, V: 99}}); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	// Second effective batch (undo the first): hook fires with version 2.
+	if _, err := mt.Apply([]graph.Change{{Op: graph.OpRemoveEdge, U: add.U, V: add.V}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []hookCall{{1, 1}, {2, 1}}
+	if len(calls) != len(want) {
+		t.Fatalf("hook fired %d times (%v), want %d", len(calls), calls, len(want))
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("hook call %d: %+v, want %+v", i, calls[i], want[i])
+		}
+	}
+	// Clearing the hook stops dispatch.
+	mt.SetApplyHook(nil)
+	if _, err := mt.Apply([]graph.Change{add}); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 {
+		t.Fatalf("cleared hook still fired: %v", calls)
+	}
+	if mt.Version() != 3 {
+		t.Fatalf("version %d after three effective batches, want 3", mt.Version())
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fsim/internal/core"
@@ -53,11 +54,20 @@ import (
 	"fsim/internal/stats"
 )
 
+// ErrClosed is returned by Apply after Close.
+var ErrClosed = errors.New("dynamic: maintainer is closed")
+
 // Stats reports one Apply's incremental-maintenance diagnostics.
 type Stats struct {
 	// Applied is the number of effective changes in the batch (no-ops
 	// excluded).
 	Applied int
+	// Version is the graph version after this Apply: the number of
+	// effective batches absorbed since construction (no-op batches leave
+	// it unchanged). It equals Index().Version() at return time and stamps
+	// which snapshot the batch produced — the serving layer keys its
+	// result cache on it.
+	Version uint64
 	// Seeds is the number of worklist seed pairs: candidate pairs whose
 	// update rule reads a changed edge, plus dependents of candidacy and
 	// stand-in flips.
@@ -97,13 +107,20 @@ const coneLimit = 4 // denominator: fall back when 4·|cone| > |Hc|
 // updates. A Maintainer is safe for concurrent readers; Apply excludes
 // them while it runs.
 type Maintainer struct {
-	mu    sync.RWMutex
-	m     *graph.Mutable
-	g     *graph.Graph // current snapshot
+	mu sync.RWMutex
+	m  *graph.Mutable
+	g  *graph.Graph // current snapshot (guarded by mu)
+	// snap mirrors g behind an atomic pointer so liveness-style readers
+	// (Graph) never block behind an in-flight Apply, which holds mu
+	// exclusively for the whole re-convergence — up to a full recompute.
+	snap  atomic.Pointer[graph.Graph]
 	opts  core.Options // normalized
 	cs    *core.CandidateSet
 	ix    *query.Index
 	store *scoreStore
+	// onApply, when set, observes every effective Apply (see SetApplyHook).
+	onApply func(version uint64, st Stats)
+	closed  bool
 }
 
 // New computes the initial fixed point of g against itself and returns a
@@ -131,15 +148,17 @@ func New(g *graph.Graph, opts core.Options) (*Maintainer, error) {
 		ix:    query.NewFromCandidates(cs),
 		store: newScoreStore(cs),
 	}
+	mt.snap.Store(g)
 	mt.store.fillFrom(cs, res)
 	return mt, nil
 }
 
-// Graph returns the current immutable snapshot.
+// Graph returns the current immutable snapshot. It is lock-free — during
+// an in-flight Apply it returns the last settled snapshot instead of
+// blocking, so liveness probes stay responsive however long an update's
+// re-convergence runs.
 func (mt *Maintainer) Graph() *graph.Graph {
-	mt.mu.RLock()
-	defer mt.mu.RUnlock()
-	return mt.g
+	return mt.snap.Load()
 }
 
 // Options returns the normalized options the maintainer runs with.
@@ -149,6 +168,36 @@ func (mt *Maintainer) Options() core.Options { return mt.opts }
 // graph. It is patched in place by Apply, so queries issued at any time
 // see the current snapshot; concurrent queries and updates are safe.
 func (mt *Maintainer) Index() *query.Index { return mt.ix }
+
+// Version returns the current graph version: 0 at construction, +1 per
+// effective Apply (see Stats.Version). It delegates to the live index's
+// counter, so versions read here and versions stamped on index snapshots
+// (query.TopKSnapshot) are the same sequence.
+func (mt *Maintainer) Version() uint64 { return mt.ix.Version() }
+
+// SetApplyHook registers fn to observe every effective Apply: it runs just
+// before Apply returns, with the new graph version and the batch's Stats.
+// The serving layer uses it to invalidate version-keyed result caches.
+// fn is called with the maintainer's write lock held — it must be fast and
+// must not call back into the Maintainer (its Index is safe). Passing nil
+// clears the hook.
+func (mt *Maintainer) SetApplyHook(fn func(version uint64, st Stats)) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.onApply = fn
+}
+
+// Close marks the maintainer closed: subsequent Apply calls return
+// ErrClosed, while reads (Score, TopK, Index queries) keep serving the
+// final snapshot. Close is idempotent and safe for concurrent use; it
+// exists so a serving layer can drain writes deterministically on
+// shutdown.
+func (mt *Maintainer) Close() error {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.closed = true
+	return nil
+}
 
 // Score returns the maintained FSimχ(u, v) on the current snapshot —
 // candidate pairs their converged score, everything else its §3.4
@@ -188,6 +237,20 @@ func (mt *Maintainer) TopK(u graph.NodeID, k int) ([]stats.Ranked, error) {
 func (mt *Maintainer) Apply(changes []graph.Change) (Stats, error) {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
+	if mt.closed {
+		return Stats{}, ErrClosed
+	}
+	st, err := mt.applyLocked(changes)
+	st.Version = mt.ix.Version()
+	if err == nil && st.Applied > 0 && mt.onApply != nil {
+		mt.onApply(st.Version, st)
+	}
+	return st, err
+}
+
+// applyLocked is Apply under a held write lock, without version stamping
+// or hook dispatch.
+func (mt *Maintainer) applyLocked(changes []graph.Change) (Stats, error) {
 	start := time.Now()
 
 	// Validate the whole batch against the evolving node count before
@@ -244,6 +307,7 @@ func (mt *Maintainer) Apply(changes []graph.Change) (Stats, error) {
 			return st, err
 		}
 		mt.g = g
+		mt.snap.Store(g)
 		st.Full, st.Rebuilt = true, true
 		st.Duration = time.Since(start)
 		return st, nil
@@ -252,6 +316,7 @@ func (mt *Maintainer) Apply(changes []graph.Change) (Stats, error) {
 		return st, err
 	}
 	mt.g = g
+	mt.snap.Store(g)
 	mt.store.remap(delta)
 
 	seeds := mt.seedPairs(touchedList, oldN, delta)

@@ -69,6 +69,7 @@ func Registry() []struct {
 		{"delta", "worklist delta convergence vs full recomputation", Delta},
 		{"topk", "single-source top-k queries vs full computation", TopK},
 		{"dynamic", "incremental maintenance under update streams vs full recompute", Dynamic},
+		{"serve", "HTTP serving layer load test: cache+coalescing vs naive recompute", Serve},
 	}
 }
 

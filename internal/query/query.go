@@ -51,6 +51,13 @@ type Index struct {
 	mu     sync.RWMutex
 	cs     *core.CandidateSet
 	n1, n2 int
+	// version counts the graph snapshots this index has served: 0 at
+	// construction, +1 per Apply or ResetCandidates. Results stamped with
+	// the version they were computed at (TopKSnapshot, QuerySnapshot) are
+	// immutable facts about that snapshot, which is what makes them safe
+	// to cache: a version-v entry can be served for as long as the current
+	// version is still v, and can never silently go stale.
+	version uint64
 	// rowStandIns lists, per g1 node, the §3.4 stand-ins of its pruned
 	// pairs (nil when α = 0), so query states materialize a row slab by
 	// walking the candidate row instead of probing all |V2| pairs.
@@ -92,7 +99,17 @@ func NewFromCandidates(cs *core.CandidateSet) *Index {
 func (ix *Index) ResetCandidates(cs *core.CandidateSet) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	ix.version++
 	ix.resetLocked(cs)
+}
+
+// Version returns the index's graph-version counter: 0 at construction,
+// incremented by every Apply and ResetCandidates. Two reads returning the
+// same version are guaranteed to have observed the same graph snapshot.
+func (ix *Index) Version() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.version
 }
 
 // resetLocked (re)derives every index structure from cs; callers hold the
@@ -128,6 +145,7 @@ func (ix *Index) Apply(g1, g2 *graph.Graph, touched1, touched2 []graph.NodeID) (
 	if err != nil {
 		return nil, err
 	}
+	ix.version++
 	grown := delta.N1 != delta.OldN1 || delta.N2 != delta.OldN2
 	if grown {
 		// Pooled states size their row maps and slabs to the old node
@@ -232,6 +250,49 @@ func (ix *Index) TopK(u graph.NodeID, k int) ([]stats.Ranked, error) {
 func (ix *Index) TopKStats(u graph.NodeID, k int) ([]stats.Ranked, Stats, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	return ix.topKLocked(u, k)
+}
+
+// TopKSnapshot is a cache-friendly top-k result: the ranking plus the
+// graph version it was computed at. Both are read under one lock hold, so
+// the pair is self-consistent even while a writer is applying updates —
+// the caching contract the serving layer builds on.
+type TopKSnapshot struct {
+	// Version is the index's graph version at computation time.
+	Version uint64
+	// Top is the ranking, immutable once returned.
+	Top []stats.Ranked
+	// Stats carries the localized computation's diagnostics.
+	Stats Stats
+}
+
+// ScoreSnapshot is the single-pair analogue of TopKSnapshot.
+type ScoreSnapshot struct {
+	Version uint64
+	Score   float64
+	Stats   Stats
+}
+
+// TopKSnapshot runs TopK and stamps the result with the graph version it
+// was computed at, atomically with respect to Apply.
+func (ix *Index) TopKSnapshot(u graph.NodeID, k int) (TopKSnapshot, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	top, st, err := ix.topKLocked(u, k)
+	return TopKSnapshot{Version: ix.version, Top: top, Stats: st}, err
+}
+
+// QuerySnapshot runs Query and stamps the result with the graph version it
+// was computed at, atomically with respect to Apply.
+func (ix *Index) QuerySnapshot(u, v graph.NodeID) (ScoreSnapshot, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	score, st, err := ix.queryLocked(u, v)
+	return ScoreSnapshot{Version: ix.version, Score: score, Stats: st}, err
+}
+
+// topKLocked implements TopK under a held read lock.
+func (ix *Index) topKLocked(u graph.NodeID, k int) ([]stats.Ranked, Stats, error) {
 	if int(u) < 0 || int(u) >= ix.n1 {
 		return nil, Stats{}, fmt.Errorf("query: node %d out of range [0,%d)", u, ix.n1)
 	}
@@ -279,6 +340,11 @@ func (ix *Index) Query(u, v graph.NodeID) (float64, error) {
 func (ix *Index) QueryStats(u, v graph.NodeID) (float64, Stats, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	return ix.queryLocked(u, v)
+}
+
+// queryLocked implements Query under a held read lock.
+func (ix *Index) queryLocked(u, v graph.NodeID) (float64, Stats, error) {
 	if int(u) < 0 || int(u) >= ix.n1 {
 		return 0, Stats{}, fmt.Errorf("query: node %d out of range [0,%d)", u, ix.n1)
 	}

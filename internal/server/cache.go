@@ -1,0 +1,136 @@
+package server
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+)
+
+// resultCache is the version-stamped result cache: a sharded LRU over
+// marshaled response bodies, keyed by strings that embed the graph version
+// the result was computed at ("t/<u>/<k>/<version>"). Because the version
+// is part of the key, an entry can never be served for a newer snapshot —
+// staleness is structurally impossible, independent of invalidation
+// timing. Invalidation (purgeOlder, driven by the maintainer's apply hook)
+// is therefore a memory-hygiene pass: it drops the entries made
+// unreachable by a version bump instead of waiting for LRU pressure to
+// evict them.
+//
+// Sharding keeps the cache off the serving hot path's contention profile:
+// a get is one shard lock, a hash lookup and a list splice.
+type resultCache struct {
+	seed   maphash.Seed
+	shards []*cacheShard
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	items    map[string]*list.Element // value: *cacheEntry
+}
+
+type cacheEntry struct {
+	key     string
+	version uint64
+	body    []byte
+}
+
+// newResultCache builds a cache of at most `capacity` entries spread over
+// `shards` shards (both already validated/defaulted by the caller). Each
+// shard gets an equal slice of the capacity, minimum one entry.
+func newResultCache(capacity, shards int) *resultCache {
+	if shards > capacity {
+		shards = capacity
+	}
+	per := capacity / shards
+	if per < 1 {
+		per = 1
+	}
+	c := &resultCache{seed: maphash.MakeSeed(), shards: make([]*cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{
+			capacity: per,
+			ll:       list.New(),
+			items:    make(map[string]*list.Element, per),
+		}
+	}
+	return c
+}
+
+func (c *resultCache) shard(key string) *cacheShard {
+	return c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// get returns the cached body for key, refreshing its recency.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put inserts (or refreshes) an entry, evicting the least recently used
+// one when the shard is full. body must not be mutated by the caller after
+// the call.
+func (c *resultCache) put(key string, version uint64, body []byte) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.version, e.body = version, body
+		return
+	}
+	for s.ll.Len() >= s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, version: version, body: body})
+}
+
+// purgeOlder drops every entry computed at a version below cutoff — the
+// wholesale invalidation run on each graph-version bump. Entries a racing
+// flight inserts with an old stamp after the purge are unreachable (their
+// keys embed the old version) and fall to LRU eviction.
+func (c *resultCache) purgeOlder(cutoff uint64) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			if e := el.Value.(*cacheEntry); e.version < cutoff {
+				s.ll.Remove(el)
+				delete(s.items, e.key)
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+}
+
+// len counts the live entries across all shards.
+func (c *resultCache) len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// capacity is the total entry budget across shards.
+func (c *resultCache) cap() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.capacity
+	}
+	return n
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/graph"
+)
+
+// observedTopK is one reader-side response record, verified after the run.
+type observedTopK struct {
+	u, k    int
+	version uint64
+	results []RankedScore
+}
+
+// TestConcurrentConsistencyUnderUpdates is the serving layer's
+// linearizability-style property, run under the race detector in CI:
+// 16 client goroutines hammer /topk (through the full handler path —
+// cache, coalescing, admission) while a writer posts update batches. Every
+// response must be self-consistent — stamped with a graph version the
+// writer actually produced, and carrying exactly the ranking a fresh
+// core.Compute on the graph at that version yields, bit for bit. A
+// response that mixed scores across snapshots, or served a stale cache
+// entry for a newer version, fails the comparison.
+func TestConcurrentConsistencyUnderUpdates(t *testing.T) {
+	g := dataset.RandomGraph(33, 20, 60, 3)
+	opts := testOptions()
+	s, err := New(g, opts, Options{MaxInFlight: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes() // the writer never adds nodes, so reader ids stay valid
+
+	// The writer pre-generates always-effective batches against a mirror,
+	// recording the exact snapshot each version must correspond to.
+	const batches = 8
+	mirror := graph.MutableOf(g)
+	snapshots := map[uint64]*graph.Graph{0: g}
+	bodies := make([]string, batches)
+	rng := rand.New(rand.NewSource(99))
+	for b := 0; b < batches; b++ {
+		var lines []string
+		for i := 0; i < 2; i++ {
+			c := randomEffectiveChange(rng, mirror)
+			if _, err := mirror.Apply(c); err != nil {
+				t.Fatal(err)
+			}
+			lines = append(lines, c.String())
+		}
+		bodies[b] = strings.Join(lines, "\n") + "\n"
+		snapshots[uint64(b+1)] = mirror.Snapshot()
+	}
+
+	const readers = 16
+	const readsPerReader = 60
+	var wg sync.WaitGroup
+	observed := make([][]observedTopK, readers)
+	errs := make(chan error, readers+1)
+
+	// Writer: posts the batches through the HTTP path, interleaved with
+	// the readers' traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < batches; b++ {
+			r := httptest.NewRequest(http.MethodPost, "/updates", strings.NewReader(bodies[b]))
+			w := httptest.NewRecorder()
+			s.ServeHTTP(w, r)
+			if w.Code != http.StatusOK {
+				errs <- fmt.Errorf("updates batch %d: status %d: %s", b, w.Code, w.Body.String())
+				return
+			}
+			var ur UpdateResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &ur); err != nil {
+				errs <- err
+				return
+			}
+			if ur.GraphVersion != uint64(b+1) {
+				errs <- fmt.Errorf("updates batch %d: version %d, want %d", b, ur.GraphVersion, b+1)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			for j := 0; j < readsPerReader; j++ {
+				u, k := rng.Intn(n), 1+rng.Intn(4)
+				r := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/topk?u=%d&k=%d", u, k), nil)
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, r)
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: /topk?u=%d&k=%d: status %d: %s", i, u, k, w.Code, w.Body.String())
+					return
+				}
+				var tr TopKResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &tr); err != nil {
+					errs <- err
+					return
+				}
+				observed[i] = append(observed[i], observedTopK{u: u, k: k, version: tr.GraphVersion, results: tr.Results})
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Verify: one fresh Compute per version actually served, then bit-exact
+	// comparison of every observed response against it.
+	fresh := map[uint64]*core.Result{}
+	for _, obs := range observed {
+		for _, o := range obs {
+			snap, ok := snapshots[o.version]
+			if !ok {
+				t.Fatalf("response stamped version %d, which the writer never produced", o.version)
+			}
+			res, ok := fresh[o.version]
+			if !ok {
+				var err error
+				res, err = core.Compute(snap, snap, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh[o.version] = res
+			}
+			want := res.TopK(graph.NodeID(o.u), o.k)
+			if len(o.results) != len(want) {
+				t.Fatalf("topk(u=%d,k=%d)@v%d: %d results, want %d", o.u, o.k, o.version, len(o.results), len(want))
+			}
+			for i := range want {
+				if o.results[i].Node != want[i].Index || o.results[i].Score != want[i].Score {
+					t.Fatalf("topk(u=%d,k=%d)@v%d entry %d: (%d, %v), want (%d, %v) — served scores diverge from a fresh Compute at the served version",
+						o.u, o.k, o.version, i, o.results[i].Node, o.results[i].Score, want[i].Index, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+// randomEffectiveChange mirrors the experiments' update stream: remove a
+// present edge or insert an absent one, never a no-op.
+func randomEffectiveChange(rng *rand.Rand, m *graph.Mutable) graph.Change {
+	n := m.NumNodes()
+	if rng.Intn(2) == 0 {
+		for try := 0; try < 32; try++ {
+			u := graph.NodeID(rng.Intn(n))
+			if out := m.Out(u); len(out) > 0 {
+				return graph.Change{Op: graph.OpRemoveEdge, U: u, V: out[rng.Intn(len(out))]}
+			}
+		}
+	}
+	for {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u != v && !m.HasEdge(u, v) {
+			return graph.Change{Op: graph.OpAddEdge, U: u, V: v}
+		}
+	}
+}

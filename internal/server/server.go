@@ -1,0 +1,613 @@
+// Package server is the FSim serving layer: an HTTP JSON API over a live
+// query.Index + dynamic.Maintainer pair, built for concurrent read traffic
+// against an evolving graph.
+//
+// Endpoints (all responses are JSON):
+//
+//	GET  /topk?u=<node>&k=<n>   top-k most similar nodes for u
+//	GET  /query?u=<u>&v=<v>     the single score FSimχ(u, v)
+//	POST /updates               update-stream body ("+n" / "+e" / "-e" lines)
+//	GET  /healthz               liveness and current graph version
+//	GET  /stats                 serving counters (cache, coalescing, latency)
+//
+// # Consistency contract
+//
+// Every read response carries the graphVersion it was computed at, and its
+// scores are exactly the scores a fresh core.Compute over the graph at
+// that version would produce (bit-identical under a pinned iteration
+// budget — the same guarantee query.Index carries). The contract survives
+// caching and concurrency by construction:
+//
+//   - Read results come from query.Index snapshot queries, which stamp the
+//     version under the same lock hold that computes the scores — a
+//     response can never mix scores from one snapshot with the version of
+//     another.
+//   - The result cache keys on (endpoint, node args, version). A lookup
+//     always uses the current version, so entries from older snapshots are
+//     unreachable the instant an update commits; the maintainer's apply
+//     hook additionally purges them wholesale to reclaim memory.
+//
+// # Cost model
+//
+// A cache hit costs a map lookup; a miss costs one localized fixed point
+// (query.Index's query path). Singleflight coalescing collapses N
+// concurrent identical misses into one computation, so a thundering herd
+// behind a version bump pays for each distinct (u, k) once. Misses are
+// admission-controlled by a compute semaphore (Options.MaxInFlight);
+// overflow is answered with 429 rather than queued, keeping tail latency
+// bounded. Updates serialize through the maintainer's writer lock.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"fsim/internal/core"
+	"fsim/internal/dynamic"
+	"fsim/internal/graph"
+	"fsim/internal/query"
+	"fsim/internal/stats"
+)
+
+// Options tunes the serving layer (zero value = production defaults).
+type Options struct {
+	// CacheEntries bounds the result cache. 0 uses the default (4096);
+	// negative disables caching entirely (every request computes).
+	CacheEntries int
+	// CacheShards spreads the cache over independently locked shards.
+	// 0 uses the default (16).
+	CacheShards int
+	// DisableCoalescing turns off singleflight request coalescing, so
+	// concurrent identical misses compute independently. The serve
+	// benchmark uses it as the naive baseline.
+	DisableCoalescing bool
+	// MaxInFlight bounds concurrently running score computations (cache
+	// misses); excess requests receive 429. 0 uses twice GOMAXPROCS;
+	// negative means unlimited.
+	MaxInFlight int
+	// MaxUpdateBytes caps a POST /updates body. 0 uses the default (8 MiB).
+	MaxUpdateBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 4096
+	}
+	if o.CacheShards <= 0 {
+		o.CacheShards = 16
+	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxUpdateBytes == 0 {
+		o.MaxUpdateBytes = 8 << 20
+	}
+	return o
+}
+
+// Server is the serving layer's http.Handler. Build one with New or
+// NewFromMaintainer, mount it on any http.Server, and stop it with
+// Shutdown. All exported methods are safe for concurrent use.
+type Server struct {
+	mt   *dynamic.Maintainer
+	ix   *query.Index
+	opts Options
+
+	cache   *resultCache // nil when disabled
+	flights flightGroup
+	sem     chan struct{} // nil when unlimited
+
+	metrics metrics
+
+	mu       sync.Mutex // guards draining / inflight / drained
+	draining bool
+	inflight int
+	drained  chan struct{}
+}
+
+// metrics are the /stats counters (see internal/stats).
+type metrics struct {
+	topk, query, updates, healthz, statsReqs stats.Counter
+	hits, misses, coalesced                  stats.Counter
+	rejected, unavailable, badRequests       stats.Counter
+	updatesApplied, fullRecomputes           stats.Counter
+	computeInFlight                          stats.Gauge
+	computeLatency, updateLatency            stats.Latency
+}
+
+// New builds a Server over a fresh maintainer: the initial fixed point of
+// g against itself is computed here (the expensive part of startup).
+func New(g *graph.Graph, opts core.Options, sopts Options) (*Server, error) {
+	mt, err := dynamic.New(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromMaintainer(mt, sopts), nil
+}
+
+// NewFromMaintainer wraps an existing maintainer. The server takes
+// ownership: it registers the maintainer's apply hook for cache
+// invalidation and closes the maintainer on Shutdown.
+func NewFromMaintainer(mt *dynamic.Maintainer, sopts Options) *Server {
+	sopts = sopts.withDefaults()
+	s := &Server{mt: mt, ix: mt.Index(), opts: sopts}
+	if sopts.CacheEntries > 0 {
+		s.cache = newResultCache(sopts.CacheEntries, sopts.CacheShards)
+	}
+	if sopts.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, sopts.MaxInFlight)
+	}
+	mt.SetApplyHook(func(version uint64, st dynamic.Stats) {
+		s.metrics.updatesApplied.Add(int64(st.Applied))
+		if st.Full {
+			s.metrics.fullRecomputes.Inc()
+		}
+		if s.cache != nil {
+			s.cache.purgeOlder(version)
+		}
+	})
+	return s
+}
+
+// Maintainer exposes the owned maintainer (read-mostly callers: tests and
+// the in-process load benchmark).
+func (s *Server) Maintainer() *dynamic.Maintainer { return s.mt }
+
+// RankedScore is one entry of a top-k response.
+type RankedScore struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// TopKResponse is the GET /topk body.
+type TopKResponse struct {
+	U            int           `json:"u"`
+	K            int           `json:"k"`
+	GraphVersion uint64        `json:"graphVersion"`
+	Results      []RankedScore `json:"results"`
+}
+
+// QueryResponse is the GET /query body.
+type QueryResponse struct {
+	U            int     `json:"u"`
+	V            int     `json:"v"`
+	GraphVersion uint64  `json:"graphVersion"`
+	Score        float64 `json:"score"`
+}
+
+// UpdateResponse is the POST /updates body.
+type UpdateResponse struct {
+	GraphVersion uint64  `json:"graphVersion"`
+	Submitted    int     `json:"submitted"`
+	Applied      int     `json:"applied"`
+	Full         bool    `json:"full"`
+	Rebuilt      bool    `json:"rebuilt"`
+	Seeds        int     `json:"seeds"`
+	Cone         int     `json:"cone"`
+	LocalPairs   int     `json:"localPairs"`
+	Iterations   int     `json:"iterations"`
+	DurationMs   float64 `json:"durationMs"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status       string `json:"status"`
+	GraphVersion uint64 `json:"graphVersion"`
+	Nodes        int    `json:"nodes"`
+	Edges        int    `json:"edges"`
+}
+
+// LatencyStats summarizes one Latency counter in milliseconds.
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	GraphVersion   uint64           `json:"graphVersion"`
+	Nodes          int              `json:"nodes"`
+	Edges          int              `json:"edges"`
+	Requests       map[string]int64 `json:"requests"`
+	CacheEntries   int              `json:"cacheEntries"`
+	CacheCapacity  int              `json:"cacheCapacity"`
+	CacheHits      int64            `json:"cacheHits"`
+	CacheMisses    int64            `json:"cacheMisses"`
+	Coalesced      int64            `json:"coalesced"`
+	InFlight       int64            `json:"inFlight"`
+	InFlightMax    int64            `json:"inFlightMax"`
+	InFlightLimit  int              `json:"inFlightLimit"`
+	Rejected       int64            `json:"rejected"`
+	Unavailable    int64            `json:"unavailable"`
+	BadRequests    int64            `json:"badRequests"`
+	UpdatesApplied int64            `json:"updatesApplied"`
+	FullRecomputes int64            `json:"fullRecomputes"`
+	ComputeLatency LatencyStats     `json:"computeLatency"`
+	UpdateLatency  LatencyStats     `json:"updateLatency"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// errOverloaded marks a compute slot admission failure (→ 429).
+var errOverloaded = errors.New("server: compute admission limit reached")
+
+// ServeHTTP routes the five endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/topk":
+		s.handleTopK(w, r)
+	case "/query":
+		s.handleQuery(w, r)
+	case "/updates":
+		s.handleUpdates(w, r)
+	case "/healthz":
+		s.handleHealthz(w, r)
+	case "/stats":
+		s.handleStats(w, r)
+	default:
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no such endpoint %q", r.URL.Path)})
+	}
+}
+
+// enter admits one compute/update request unless the server is draining.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) leave() {
+	s.mu.Lock()
+	s.inflight--
+	if s.draining && s.inflight == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown gracefully drains the server: new compute and update requests
+// are refused with 503 immediately, in-flight ones run to completion (or
+// until ctx expires), and the maintainer is closed so late writers get
+// dynamic.ErrClosed rather than mutating a drained server. Safe to call
+// more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		if s.inflight > 0 {
+			s.drained = make(chan struct{})
+		}
+	}
+	ch := s.drained
+	s.mu.Unlock()
+	if ch != nil {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			// The drain timed out, but the shutdown contract — late
+			// writers get dynamic.ErrClosed — must hold regardless:
+			// close the maintainer anyway. Reads still in flight finish
+			// against the final snapshot (Close only refuses Apply).
+			s.mt.Close()
+			return ctx.Err()
+		}
+	}
+	return s.mt.Close()
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	s.metrics.topk.Inc()
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	u, err := intParam(r, "u")
+	if err == nil {
+		var k int
+		k, err = intParam(r, "k")
+		if err == nil {
+			s.serveComputed(w, fmt.Sprintf("t/%d/%d", u, k), func() ([]byte, uint64, error) {
+				snap, err := s.ix.TopKSnapshot(graph.NodeID(u), k)
+				if err != nil {
+					return nil, 0, err
+				}
+				resp := TopKResponse{U: u, K: k, GraphVersion: snap.Version, Results: make([]RankedScore, len(snap.Top))}
+				for i, t := range snap.Top {
+					resp.Results[i] = RankedScore{Node: t.Index, Score: t.Score}
+				}
+				body, err := json.Marshal(resp)
+				return body, snap.Version, err
+			})
+			return
+		}
+	}
+	s.badRequest(w, err)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.metrics.query.Inc()
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	u, err := intParam(r, "u")
+	if err == nil {
+		var v int
+		v, err = intParam(r, "v")
+		if err == nil {
+			s.serveComputed(w, fmt.Sprintf("q/%d/%d", u, v), func() ([]byte, uint64, error) {
+				snap, err := s.ix.QuerySnapshot(graph.NodeID(u), graph.NodeID(v))
+				if err != nil {
+					return nil, 0, err
+				}
+				body, err := json.Marshal(QueryResponse{U: u, V: v, GraphVersion: snap.Version, Score: snap.Score})
+				return body, snap.Version, err
+			})
+			return
+		}
+	}
+	s.badRequest(w, err)
+}
+
+// serveComputed is the shared read path: version-stamped cache lookup,
+// coalesced + admission-controlled computation on miss, cache fill. The
+// compute callback returns the marshaled body and the version its scores
+// were computed at (which may be newer than the looked-up version when an
+// update commits concurrently; the body is stamped either way, so the
+// response stays self-consistent).
+func (s *Server) serveComputed(w http.ResponseWriter, baseKey string, compute func() ([]byte, uint64, error)) {
+	if !s.enter() {
+		s.unavailable(w)
+		return
+	}
+	defer s.leave()
+
+	key := fmt.Sprintf("%s/%d", baseKey, s.mt.Version())
+	if s.cache != nil {
+		if body, ok := s.cache.get(key); ok {
+			s.metrics.hits.Inc()
+			w.Header().Set("X-Fsim-Cache", "hit")
+			writeBody(w, http.StatusOK, body)
+			return
+		}
+	}
+	s.metrics.misses.Inc()
+
+	run := func() ([]byte, error) {
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				return nil, errOverloaded
+			}
+		}
+		s.metrics.computeInFlight.Inc()
+		defer s.metrics.computeInFlight.Dec()
+		t0 := time.Now()
+		body, version, err := compute()
+		s.metrics.computeLatency.Observe(time.Since(t0))
+		if err != nil {
+			return nil, err
+		}
+		if s.cache != nil {
+			s.cache.put(fmt.Sprintf("%s/%d", baseKey, version), version, body)
+		}
+		return body, nil
+	}
+
+	var body []byte
+	var err error
+	if s.opts.DisableCoalescing {
+		body, err = run()
+	} else {
+		var shared bool
+		body, err, shared = s.flights.do(key, run)
+		if shared {
+			s.metrics.coalesced.Inc()
+		}
+	}
+	switch {
+	case errors.Is(err, errOverloaded):
+		s.metrics.rejected.Inc()
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, errFlightPanicked):
+		// A follower observed the leader's computation panic; the panic
+		// itself propagates on the leader's goroutine.
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	case err != nil:
+		// Index queries fail only on invalid node ids — a client error.
+		s.badRequest(w, err)
+	default:
+		w.Header().Set("X-Fsim-Cache", "miss")
+		writeBody(w, http.StatusOK, body)
+	}
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	s.metrics.updates.Inc()
+	if r.Method != http.MethodPost {
+		s.methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	if !s.enter() {
+		s.unavailable(w)
+		return
+	}
+	defer s.leave()
+
+	// Read the body before parsing: a truncated stream would otherwise
+	// surface as a bogus parse error on its cut-off last line instead of
+	// the size limit.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxUpdateBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.metrics.badRequests.Inc()
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: err.Error()})
+			return
+		}
+		s.badRequest(w, err)
+		return
+	}
+	changes, err := graph.ReadChanges(bytes.NewReader(body))
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	t0 := time.Now()
+	st, err := s.mt.Apply(changes)
+	s.metrics.updateLatency.Observe(time.Since(t0))
+	switch {
+	case errors.Is(err, dynamic.ErrClosed):
+		s.unavailable(w)
+		return
+	case err != nil:
+		// Apply validates the batch before mutating; failures are
+		// out-of-range or malformed changes — client errors.
+		s.badRequest(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		GraphVersion: st.Version,
+		Submitted:    len(changes),
+		Applied:      st.Applied,
+		Full:         st.Full,
+		Rebuilt:      st.Rebuilt,
+		Seeds:        st.Seeds,
+		Cone:         st.Cone,
+		LocalPairs:   st.LocalPairs,
+		Iterations:   st.Iterations,
+		DurationMs:   float64(st.Duration) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.healthz.Inc()
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	g := s.mt.Graph()
+	resp := HealthResponse{Status: "ok", GraphVersion: s.mt.Version(), Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	code := http.StatusOK
+	s.mu.Lock()
+	if s.draining {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.mu.Unlock()
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.metrics.statsReqs.Inc()
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	m := &s.metrics
+	g := s.mt.Graph()
+	resp := StatsResponse{
+		GraphVersion: s.mt.Version(),
+		Nodes:        g.NumNodes(),
+		Edges:        g.NumEdges(),
+		Requests: map[string]int64{
+			"topk":    m.topk.Value(),
+			"query":   m.query.Value(),
+			"updates": m.updates.Value(),
+			"healthz": m.healthz.Value(),
+			"stats":   m.statsReqs.Value(),
+		},
+		CacheHits:      m.hits.Value(),
+		CacheMisses:    m.misses.Value(),
+		Coalesced:      m.coalesced.Value(),
+		InFlight:       m.computeInFlight.Level(),
+		InFlightMax:    m.computeInFlight.Max(),
+		InFlightLimit:  s.opts.MaxInFlight,
+		Rejected:       m.rejected.Value(),
+		Unavailable:    m.unavailable.Value(),
+		BadRequests:    m.badRequests.Value(),
+		UpdatesApplied: m.updatesApplied.Value(),
+		FullRecomputes: m.fullRecomputes.Value(),
+		ComputeLatency: latencyStats(&m.computeLatency),
+		UpdateLatency:  latencyStats(&m.updateLatency),
+	}
+	if s.cache != nil {
+		resp.CacheEntries = s.cache.len()
+		resp.CacheCapacity = s.cache.cap()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func latencyStats(l *stats.Latency) LatencyStats {
+	return LatencyStats{
+		Count:  l.Count(),
+		MeanMs: float64(l.Mean()) / float64(time.Millisecond),
+		MaxMs:  float64(l.Max()) / float64(time.Millisecond),
+	}
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.metrics.badRequests.Inc()
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) unavailable(w http.ResponseWriter) {
+	s.metrics.unavailable.Inc()
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+}
+
+func (s *Server) methodNotAllowed(w http.ResponseWriter, allow string) {
+	s.metrics.badRequests.Inc()
+	w.Header().Set("Allow", allow)
+	writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method not allowed"})
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	// ParseInt at 32 bits keeps values inside the NodeID range; larger
+	// ids must be rejected here, not silently wrapped onto a valid node
+	// (the same rule as the graph text parsers).
+	n, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad query parameter %s=%q", name, raw)
+	}
+	return int(n), nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil { // marshaling our own response types cannot fail
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, code, body)
+}
+
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}

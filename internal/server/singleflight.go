@@ -1,0 +1,80 @@
+package server
+
+import (
+	"errors"
+	"sync"
+)
+
+// errFlightPanicked is what followers observe when the leader's fn
+// panicked: the flight still completes (cleanup runs in a defer), the
+// leader's panic propagates to its own caller, and waiters get an error
+// instead of blocking forever on a flight that can never finish.
+var errFlightPanicked = errors.New("server: coalesced computation panicked")
+
+// flightGroup coalesces concurrent duplicate work: while one caller (the
+// leader) runs fn for a key, followers arriving with the same key block
+// and receive the leader's result instead of running fn themselves. Keys
+// embed the graph version (like cache keys), so a flight started before an
+// update never absorbs requests that already observed the newer version.
+//
+// This is a minimal purpose-built singleflight (the module has no external
+// dependencies): no forget/unshare semantics, and results are handed to
+// every waiter as-is — bodies are immutable marshaled responses here, so
+// sharing is safe.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	wg   sync.WaitGroup
+	body []byte
+	err  error
+	// waiters counts followers committed to this flight; written under
+	// the group mutex, read by tests to sequence deterministically.
+	waiters int
+}
+
+// flightWaiters reports how many followers have joined the flight for
+// key, and whether a flight is registered at all (test observability).
+func (g *flightGroup) flightWaiters(key string) (int, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f, ok := g.m[key]
+	if !ok {
+		return 0, false
+	}
+	return f.waiters, true
+}
+
+// do runs fn once per concurrent set of callers with the same key.
+// shared reports whether the result came from another caller's run.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) (body []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		f.wg.Wait()
+		return f.body, f.err, true
+	}
+	f := &flight{err: errFlightPanicked} // overwritten on normal completion
+	f.wg.Add(1)
+	g.m[key] = f
+	g.mu.Unlock()
+
+	// Deregister in a defer: if fn panics, the flight is still removed and
+	// released, so followers unblock (seeing errFlightPanicked) and the
+	// key is not wedged forever, while the panic propagates to the
+	// leader's caller.
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		f.wg.Done()
+	}()
+	f.body, f.err = fn()
+	return f.body, f.err, false
+}

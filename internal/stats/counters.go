@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The serving-layer counters: cheap, allocation-free instruments the HTTP
+// server (internal/server) exposes at /stats and the fsim watch -stats
+// flag prints on exit. All of them are safe for concurrent use and start
+// at zero; the zero value of each type is ready to use.
+
+// Counter is a monotonically increasing atomic event counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be any non-negative delta; negative deltas are the
+// caller's bug, not checked).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge tracks a current level (e.g. in-flight computations) and the
+// high-water mark it has reached.
+type Gauge struct {
+	cur, max atomic.Int64
+}
+
+// Inc raises the level by one and returns the new level, updating the
+// high-water mark.
+func (g *Gauge) Inc() int64 {
+	n := g.cur.Add(1)
+	for {
+		m := g.max.Load()
+		if n <= m || g.max.CompareAndSwap(m, n) {
+			return n
+		}
+	}
+}
+
+// Dec lowers the level by one.
+func (g *Gauge) Dec() { g.cur.Add(-1) }
+
+// Level returns the current level.
+func (g *Gauge) Level() int64 { return g.cur.Load() }
+
+// Max returns the high-water mark.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+// Latency accumulates duration observations: count, total and maximum.
+// The mean is derivable (Total/Count); percentiles are out of scope for
+// these counters — they are serving diagnostics, not benchmarks.
+type Latency struct {
+	count, total, max atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (l *Latency) Observe(d time.Duration) {
+	l.count.Add(1)
+	l.total.Add(int64(d))
+	for {
+		m := l.max.Load()
+		if int64(d) <= m || l.max.CompareAndSwap(m, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (l *Latency) Count() int64 { return l.count.Load() }
+
+// Total returns the summed duration.
+func (l *Latency) Total() time.Duration { return time.Duration(l.total.Load()) }
+
+// Max returns the largest observation.
+func (l *Latency) Max() time.Duration { return time.Duration(l.max.Load()) }
+
+// Mean returns the average observation, 0 before the first one.
+func (l *Latency) Mean() time.Duration {
+	n := l.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(l.total.Load() / n)
+}

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero value reads %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("got %d, want 5", c.Value())
+	}
+}
+
+func TestGaugeHighWaterConcurrent(t *testing.T) {
+	var g Gauge
+	const workers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Level() != 0 {
+		t.Fatalf("level %d after balanced inc/dec, want 0", g.Level())
+	}
+	if max := g.Max(); max < 1 || max > workers {
+		t.Fatalf("high-water mark %d outside [1,%d]", max, workers)
+	}
+}
+
+func TestLatency(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Count() != 0 || l.Max() != 0 {
+		t.Fatal("zero value not zero")
+	}
+	l.Observe(2 * time.Millisecond)
+	l.Observe(4 * time.Millisecond)
+	if l.Count() != 2 {
+		t.Fatalf("count %d, want 2", l.Count())
+	}
+	if l.Total() != 6*time.Millisecond {
+		t.Fatalf("total %v, want 6ms", l.Total())
+	}
+	if l.Mean() != 3*time.Millisecond {
+		t.Fatalf("mean %v, want 3ms", l.Mean())
+	}
+	if l.Max() != 4*time.Millisecond {
+		t.Fatalf("max %v, want 4ms", l.Max())
+	}
+	// The max is monotone: a smaller observation cannot lower it.
+	l.Observe(time.Millisecond)
+	if l.Max() != 4*time.Millisecond {
+		t.Fatalf("max %v after smaller observation, want 4ms", l.Max())
+	}
+}
