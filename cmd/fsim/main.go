@@ -5,6 +5,8 @@
 //
 //	fsim [flags] <graph1> [<graph2>]
 //	fsim watch [flags] <graph> <updates>
+//	fsim snapshot [flags] <graph> <out.fsnap>
+//	fsim snapshot -info <file.fsnap>
 //
 // With one graph argument, scores are computed from the graph to itself.
 // By default the top scoring pairs are printed; use -u to list the best
@@ -18,6 +20,12 @@
 // -stats, aggregate counters (batches, applied changes, localized replays
 // vs full recomputes, apply latency) are printed on exit for programmatic
 // progress observation.
+//
+// The snapshot subcommand computes the self-similarity fixed point of a
+// graph and persists the complete state — graph, candidate structures,
+// scores, version — as a crash-safe binary snapshot that fsimserve
+// -snapshot warm starts from without recomputing; -info prints the
+// contents of an existing snapshot instead.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"fsim"
+	"fsim/internal/cliflags"
 	"fsim/internal/stats"
 )
 
@@ -38,13 +47,12 @@ func main() {
 		watch(os.Args[2:])
 		return
 	}
-	variantFlag := flag.String("variant", "bj", "simulation variant: s, dp, b, or bj")
-	wplus := flag.Float64("wplus", 0.4, "out-neighbor weight w+")
-	wminus := flag.Float64("wminus", 0.4, "in-neighbor weight w-")
-	theta := flag.Float64("theta", 0, "label-constrained mapping threshold θ in [0,1]")
+	if len(os.Args) > 1 && os.Args[1] == "snapshot" {
+		snapshotCmd(os.Args[2:])
+		return
+	}
+	eng := cliflags.Register(flag.CommandLine, cliflags.Defaults{UBBeta: -1})
 	labelFn := flag.String("label", "jw", "label similarity: indicator, edit, or jw")
-	ubBeta := flag.Float64("ub", -1, "enable upper-bound pruning with this β (negative = off)")
-	threads := flag.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS)")
 	topN := flag.Int("top", 20, "print the N best-scoring pairs")
 	node := flag.Int("u", -1, "print the best matches of this node of graph1 instead")
 	all := flag.Bool("all", false, "dump every maintained pair")
@@ -65,13 +73,8 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "G1: %s\nG2: %s\n", g1.Stats(), g2.Stats())
 
-	variant, err := fsim.ParseVariant(*variantFlag)
+	opts, err := eng.Options()
 	fatal(err)
-	opts := fsim.DefaultOptions(variant)
-	opts.WPlus = *wplus
-	opts.WMinus = *wminus
-	opts.Theta = *theta
-	opts.Threads = *threads
 	switch *labelFn {
 	case "indicator":
 		opts.Label = fsim.Indicator
@@ -81,9 +84,6 @@ func main() {
 		opts.Label = fsim.JaroWinkler
 	default:
 		fatal(fmt.Errorf("unknown -label %q", *labelFn))
-	}
-	if *ubBeta >= 0 {
-		opts.UpperBoundOpt = &fsim.UpperBound{Alpha: 0, Beta: *ubBeta}
 	}
 
 	res, err := fsim.Compute(g1, g2, opts)
@@ -132,13 +132,7 @@ func main() {
 // over an update stream.
 func watch(args []string) {
 	fs := flag.NewFlagSet("fsim watch", flag.ExitOnError)
-	variantFlag := fs.String("variant", "bj", "simulation variant: s, dp, b, or bj")
-	wplus := fs.Float64("wplus", 0.4, "out-neighbor weight w+")
-	wminus := fs.Float64("wminus", 0.4, "in-neighbor weight w-")
-	theta := fs.Float64("theta", 0, "label-constrained mapping threshold θ in [0,1]")
-	ubBeta := fs.Float64("ub", -1, "enable upper-bound pruning with this β (negative = off)")
-	ubAlpha := fs.Float64("alpha", 0, "stand-in factor α for pruned pairs (needs -ub)")
-	threads := fs.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS)")
+	eng := cliflags.Register(fs, cliflags.Defaults{UBBeta: -1})
 	batch := fs.Int("batch", 1, "apply updates in batches of this size")
 	node := fs.Int("u", -1, "print this node's top matches after every batch")
 	topN := fs.Int("top", 5, "how many matches -u prints")
@@ -159,16 +153,8 @@ func watch(args []string) {
 	fatal(err)
 	fmt.Fprintf(os.Stderr, "G: %s\n", g.Stats())
 
-	variant, err := fsim.ParseVariant(*variantFlag)
+	opts, err := eng.Options()
 	fatal(err)
-	opts := fsim.DefaultOptions(variant)
-	opts.WPlus = *wplus
-	opts.WMinus = *wminus
-	opts.Theta = *theta
-	opts.Threads = *threads
-	if *ubBeta >= 0 {
-		opts.UpperBoundOpt = &fsim.UpperBound{Alpha: *ubAlpha, Beta: *ubBeta}
-	}
 	mt, err := fsim.NewMaintainer(g, opts)
 	fatal(err)
 	fmt.Fprintf(os.Stderr, "initial fixed point: %d candidates\n", mt.Index().Candidates().NumCandidates())
@@ -252,6 +238,68 @@ func watch(args []string) {
 			rebuilds.Value(), iters.Value(),
 			applyLatency.Mean().Round(time.Microsecond), applyLatency.Max().Round(time.Microsecond))
 	}
+}
+
+// snapshotCmd implements the "fsim snapshot" subcommand: compute the
+// self-similarity fixed point and persist it as a binary snapshot, or
+// inspect an existing one with -info.
+func snapshotCmd(args []string) {
+	fs := flag.NewFlagSet("fsim snapshot", flag.ExitOnError)
+	eng := cliflags.Register(fs, cliflags.Defaults{Theta: 0.6, UBBeta: 0.5, UBAlpha: 0.3})
+	iters := fs.Int("iters", 12, "pinned iteration budget (matches fsimserve's serving contract)")
+	info := fs.Bool("info", false, "print the contents of an existing snapshot instead of building one")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fsim snapshot [flags] <graph> <out.fsnap>\n       fsim snapshot -info <file.fsnap>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	if *info {
+		if fs.NArg() != 1 {
+			fs.Usage()
+			os.Exit(2)
+		}
+		mt, err := fsim.LoadSnapshot(fs.Arg(0))
+		fatal(err)
+		cs := mt.Index().Candidates()
+		opts := mt.Options()
+		ub := "off"
+		if opts.UpperBoundOpt != nil {
+			ub = fmt.Sprintf("β=%g α=%g", opts.UpperBoundOpt.Beta, opts.UpperBoundOpt.Alpha)
+		}
+		fmt.Printf("graph: %s\nversion: %d\nvariant: %s  w+=%g w-=%g θ=%g  upper-bound: %s  iters≤%d\ncandidates: %d  pruned: %d\n",
+			mt.Graph().Stats(), mt.Version(), opts.Variant, opts.WPlus, opts.WMinus, opts.Theta,
+			ub, opts.MaxIters, cs.NumCandidates(), cs.PrunedCount())
+		return
+	}
+
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	g, err := fsim.ReadGraphFile(fs.Arg(0))
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "G: %s\n", g.Stats())
+
+	opts, err := eng.Options()
+	fatal(err)
+	// The same pinning as fsimserve, so a server warm started from this
+	// snapshot serves scores bit-identical to one cold started with the
+	// matching flags.
+	opts = opts.WithPinnedIterations(*iters)
+
+	start := time.Now()
+	mt, err := fsim.NewMaintainer(g, opts)
+	fatal(err)
+	computed := time.Since(start)
+	start = time.Now()
+	fatal(fsim.SaveSnapshot(mt, fs.Arg(1)))
+	st, err := os.Stat(fs.Arg(1))
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "computed fixed point in %s; wrote %s (%d bytes) in %s\n",
+		computed.Round(time.Millisecond), fs.Arg(1), st.Size(), time.Since(start).Round(time.Millisecond))
 }
 
 func fatal(err error) {

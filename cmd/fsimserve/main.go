@@ -5,6 +5,17 @@
 // Usage:
 //
 //	fsimserve [flags] <graph>
+//	fsimserve -snapshot state.fsnap [flags] [<graph>]
+//
+// With -snapshot, the server checkpoints its state to the given file
+// (crash-safe: temporary file + rename) on graceful shutdown and — with
+// -checkpoint-every N — after every N applied update batches. If the
+// snapshot file already exists at startup it wins over the graph
+// argument: the server warm starts from it in I/O-bound time, resuming
+// the exact graph, scores and version it checkpointed, instead of
+// re-parsing text and re-running the fixed point (the snapshot also
+// carries the computation options, so the variant/θ/weights flags are
+// ignored on a warm start).
 //
 // Endpoints:
 //
@@ -32,59 +43,65 @@ import (
 	"time"
 
 	"fsim"
+	"fsim/internal/cliflags"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	variantFlag := flag.String("variant", "bj", "simulation variant: s, dp, b, or bj")
-	wplus := flag.Float64("wplus", 0.4, "out-neighbor weight w+")
-	wminus := flag.Float64("wminus", 0.4, "in-neighbor weight w-")
-	theta := flag.Float64("theta", 0.6, "label-constrained mapping threshold θ in [0,1]; selectivity keeps queries and updates local")
-	ubBeta := flag.Float64("ub", 0.5, "enable upper-bound pruning with this β (negative = off)")
-	ubAlpha := flag.Float64("alpha", 0.3, "stand-in factor α for pruned pairs (needs -ub)")
+	eng := cliflags.Register(flag.CommandLine, cliflags.Defaults{Theta: 0.6, UBBeta: 0.5, UBAlpha: 0.3})
 	iters := flag.Int("iters", 12, "pinned iteration budget (served scores are bit-identical to a fresh Compute at this budget)")
-	threads := flag.Int("threads", 0, "worker goroutines per computation (0 = GOMAXPROCS)")
 	cacheEntries := flag.Int("cache", 0, "result cache entries (0 = default 4096, negative = disable)")
 	inflight := flag.Int("inflight", 0, "max concurrent score computations before 429 (0 = 2×GOMAXPROCS, negative = unlimited)")
 	drainTimeout := flag.Duration("drain", 10*time.Second, "graceful-drain timeout on shutdown")
+	snapshotPath := flag.String("snapshot", "", "snapshot file: warm start from it when present, checkpoint to it on shutdown")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "also checkpoint after every N applied update batches (needs -snapshot)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fsimserve [flags] <graph>")
+		fmt.Fprintln(os.Stderr, "usage: fsimserve [flags] <graph>\n       fsimserve -snapshot state.fsnap [flags] [<graph>]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+	if *checkpointEvery > 0 && *snapshotPath == "" {
+		fatal(fmt.Errorf("-checkpoint-every needs -snapshot"))
 	}
 
-	g, err := fsim.ReadGraphFile(flag.Arg(0))
-	fatal(err)
-	fmt.Fprintf(os.Stderr, "G: %s\n", g.Stats())
-
-	variant, err := fsim.ParseVariant(*variantFlag)
-	fatal(err)
-	opts := fsim.DefaultOptions(variant)
-	opts.WPlus = *wplus
-	opts.WMinus = *wminus
-	opts.Theta = *theta
-	opts.Threads = *threads
-	if *ubBeta >= 0 {
-		opts.UpperBoundOpt = &fsim.UpperBound{Alpha: *ubAlpha, Beta: *ubBeta}
+	sopts := fsim.ServerOptions{
+		CacheEntries:    *cacheEntries,
+		MaxInFlight:     *inflight,
+		SnapshotPath:    *snapshotPath,
+		CheckpointEvery: *checkpointEvery,
 	}
-	// Pin the iteration budget: an unreachable epsilon makes every
-	// computation run exactly -iters rounds, which is what makes served
-	// scores reproducible bit-for-bit by a fresh Compute.
-	opts.Epsilon = 1e-300
-	opts.RelativeEps = false
-	opts.MaxIters = *iters
 
+	var srv *fsim.Server
 	start := time.Now()
-	srv, err := fsim.NewServer(g, opts, fsim.ServerOptions{
-		CacheEntries: *cacheEntries,
-		MaxInFlight:  *inflight,
-	})
-	fatal(err)
-	fmt.Fprintf(os.Stderr, "initial fixed point in %s; serving on %s\n", time.Since(start).Round(time.Millisecond), *addr)
+	if mt := tryWarmStart(*snapshotPath); mt != nil {
+		if flag.NArg() > 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		srv = fsim.NewServerFromMaintainer(mt, sopts)
+		fmt.Fprintf(os.Stderr, "warm start from %s (version %d, %s) in %s; serving on %s\n",
+			*snapshotPath, mt.Version(), mt.Graph().Stats(),
+			time.Since(start).Round(time.Millisecond), *addr)
+	} else {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		g, err := fsim.ReadGraphFile(flag.Arg(0))
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "G: %s\n", g.Stats())
+
+		opts, err := eng.Options()
+		fatal(err)
+		// Pin the iteration budget so served scores are reproducible
+		// bit-for-bit by a fresh Compute — and by a warm start from a
+		// snapshot this process (or `fsim snapshot`) wrote.
+		opts = opts.WithPinnedIterations(*iters)
+
+		srv, err = fsim.NewServer(g, opts, sopts)
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "initial fixed point in %s; serving on %s\n", time.Since(start).Round(time.Millisecond), *addr)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	errCh := make(chan error, 1)
@@ -111,6 +128,25 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// tryWarmStart loads the snapshot when one exists. A missing file means
+// cold start (the first run of a checkpointing deployment); any other
+// failure — including corruption — is fatal rather than silently falling
+// back to a cold start, so an operator notices a damaged snapshot instead
+// of paying a surprise recompute and losing the bad file to the next
+// checkpoint.
+func tryWarmStart(path string) *fsim.Maintainer {
+	if path == "" {
+		return nil
+	}
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		fmt.Fprintf(os.Stderr, "snapshot %s not present; cold start\n", path)
+		return nil
+	}
+	mt, err := fsim.LoadSnapshot(path)
+	fatal(err)
+	return mt
 }
 
 func fatal(err error) {

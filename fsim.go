@@ -101,6 +101,7 @@ import (
 	"fsim/internal/graph"
 	"fsim/internal/query"
 	"fsim/internal/server"
+	"fsim/internal/snapshot"
 	"fsim/internal/stats"
 	"fsim/internal/strsim"
 )
@@ -254,7 +255,8 @@ type Server = server.Server
 
 // ServerOptions tunes the serving layer: result-cache size and sharding,
 // request coalescing, the in-flight computation limit behind 429
-// admission control, and the update-body cap.
+// admission control, the update-body cap, and crash-safe checkpointing
+// (SnapshotPath + CheckpointEvery) for warm restarts.
 type ServerOptions = server.Options
 
 // NewServer computes the initial fixed point of g against itself (the
@@ -276,6 +278,34 @@ func NewServerFromMaintainer(mt *Maintainer, sopts ServerOptions) *Server {
 // ErrMaintainerClosed is returned by Maintainer.Apply after Close (for a
 // Server: after Shutdown has drained it).
 var ErrMaintainerClosed = dynamic.ErrClosed
+
+// SaveSnapshot atomically persists a Maintainer's complete state — the
+// CSR graph with labels, the candidate component with its §3.4 bounds,
+// the maintained score store and the graph version — as a crash-safe
+// binary snapshot (temporary file + rename, per-section checksums).
+// LoadSnapshot restores it without re-running the fixed point, which is
+// what turns a serving restart from minutes of Compute into an I/O-bound
+// load; see the README's "Snapshots & warm start" section.
+//
+// Options with function-valued fields cannot be persisted: Options.Label
+// must be one of JaroWinkler, Indicator or NormalizedEditDistance.
+func SaveSnapshot(mt *Maintainer, path string) error { return snapshot.Save(mt, path) }
+
+// LoadSnapshot reconstructs a Maintainer from a snapshot file. Corrupted
+// or truncated snapshots are rejected with an error wrapping
+// ErrSnapshotCorrupt; the loader never returns a silently-wrong state.
+func LoadSnapshot(path string) (*Maintainer, error) { return snapshot.Load(path) }
+
+// WriteSnapshot and ReadSnapshot are the io.Writer/io.Reader forms of
+// SaveSnapshot/LoadSnapshot, without the atomic-rename file handling.
+func WriteSnapshot(mt *Maintainer, w io.Writer) error { return snapshot.Write(mt, w) }
+
+// ReadSnapshot reconstructs a Maintainer from a snapshot stream.
+func ReadSnapshot(r io.Reader) (*Maintainer, error) { return snapshot.Read(r) }
+
+// ErrSnapshotCorrupt marks a snapshot LoadSnapshot/ReadSnapshot rejected:
+// truncated, bit-flipped, or structurally inconsistent.
+var ErrSnapshotCorrupt = snapshot.ErrCorrupt
 
 // SimRank computes SimRank via the framework configuration of §4.3.
 func SimRank(g *Graph, decay float64, iters int) (*Result, error) {

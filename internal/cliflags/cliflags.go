@@ -1,0 +1,65 @@
+// Package cliflags centralizes the engine-option flag set shared by the
+// fsim and fsimserve binaries. The serving contract — a snapshot built by
+// `fsim snapshot` warm starts a server that answers bit-identically to
+// one cold started with the matching flags — holds only while both
+// binaries assemble core.Options the same way from the same flags, so
+// that assembly lives here once instead of drifting across copies.
+package cliflags
+
+import (
+	"flag"
+
+	"fsim/internal/core"
+	"fsim/internal/exact"
+)
+
+// Defaults sets the per-command defaults of the candidate-shaping flags:
+// exploratory commands (fsim scoring, fsim watch) default to the open
+// θ = 0 / pruning-off configuration, serving-oriented ones (fsimserve,
+// fsim snapshot) to the selective serving configuration.
+type Defaults struct {
+	Theta   float64
+	UBBeta  float64 // negative disables upper-bound pruning
+	UBAlpha float64
+}
+
+// Engine holds the registered engine flags until Parse has run.
+type Engine struct {
+	variant *string
+	wplus   *float64
+	wminus  *float64
+	theta   *float64
+	ubBeta  *float64
+	ubAlpha *float64
+	threads *int
+}
+
+// Register installs the shared engine flags on fs.
+func Register(fs *flag.FlagSet, d Defaults) *Engine {
+	return &Engine{
+		variant: fs.String("variant", "bj", "simulation variant: s, dp, b, or bj"),
+		wplus:   fs.Float64("wplus", 0.4, "out-neighbor weight w+"),
+		wminus:  fs.Float64("wminus", 0.4, "in-neighbor weight w-"),
+		theta:   fs.Float64("theta", d.Theta, "label-constrained mapping threshold θ in [0,1]; selectivity keeps queries and updates local"),
+		ubBeta:  fs.Float64("ub", d.UBBeta, "enable upper-bound pruning with this β (negative = off)"),
+		ubAlpha: fs.Float64("alpha", d.UBAlpha, "stand-in factor α for pruned pairs (needs -ub)"),
+		threads: fs.Int("threads", 0, "worker goroutines (0 = GOMAXPROCS)"),
+	}
+}
+
+// Options assembles core.Options from the parsed flags.
+func (e *Engine) Options() (core.Options, error) {
+	variant, err := exact.ParseVariant(*e.variant)
+	if err != nil {
+		return core.Options{}, err
+	}
+	opts := core.DefaultOptions(variant)
+	opts.WPlus = *e.wplus
+	opts.WMinus = *e.wminus
+	opts.Theta = *e.theta
+	opts.Threads = *e.threads
+	if *e.ubBeta >= 0 {
+		opts.UpperBoundOpt = &core.UpperBound{Alpha: *e.ubAlpha, Beta: *e.ubBeta}
+	}
+	return opts, nil
+}

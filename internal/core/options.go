@@ -196,6 +196,20 @@ func (o *Options) normalize() error {
 	return nil
 }
 
+// WithPinnedIterations returns o with an exact iteration budget: the
+// epsilon criterion is made unreachable, so every computation runs
+// precisely iters rounds. Pinning is the cross-process reproducibility
+// contract shared by the serving layer, `fsim snapshot` and the
+// benchmarks: two computations over the same graph and pinned options
+// produce bit-identical scores, which is what lets a warm-started server
+// answer byte-identically to the process that wrote the snapshot.
+func (o Options) WithPinnedIterations(iters int) Options {
+	o.Epsilon = 1e-300
+	o.RelativeEps = false
+	o.MaxIters = iters
+	return o
+}
+
 // corollaryBound is Corollary 1: convergence within ⌈log_{w⁺+w⁻} ε⌉
 // iterations (for absolute ε; used as a safety cap in relative mode too).
 func corollaryBound(w, eps float64) int {

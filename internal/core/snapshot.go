@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fsim/internal/graph"
+	"fsim/internal/pairbits"
+	"fsim/internal/strsim"
+)
+
+// CandidateData is the raw serializable form of a CandidateSet: the
+// enumerated candidate map, the retained §3.4 bounds of pruned pairs, and
+// the store-shape discriminators. Everything else a CandidateSet holds
+// (graphs, normalized options, the label-similarity table, the dense
+// bitmap and the sparse index) is either supplied separately or re-derived
+// by NewCandidateSetFromData, so the snapshot codec persists only what
+// cannot be recomputed cheaply.
+//
+// The slices returned by Data are shared with the set and must not be
+// modified; NewCandidateSetFromData takes ownership of its inputs.
+type CandidateData struct {
+	// Dense and AllPairs mirror the store-shape flags; they are validated
+	// against the graphs and options on reconstruction rather than trusted.
+	Dense    bool
+	AllPairs bool
+
+	// CandPairs and RowOff are the candidate enumeration (nil in the
+	// all-pairs case), laid out exactly as build produces them: row-major,
+	// ascending v within each row.
+	CandPairs []pairbits.Key
+	RowOff    []int32
+
+	// PrunedKeys/PrunedBounds list the §3.4 bounds retained for pruned
+	// pairs (α > 0 only), key-sorted. PrunedCount is the total number of
+	// pruned pairs, which exceeds len(PrunedKeys) when bounds are not kept.
+	PrunedKeys   []pairbits.Key
+	PrunedBounds []float64
+	PrunedCount  int
+}
+
+// Data exposes the set's candidate enumeration and retained bounds for
+// serialization. The sparse store's bound map is flattened into key-sorted
+// parallel slices so the output is deterministic.
+func (cs *CandidateSet) Data() CandidateData {
+	d := CandidateData{
+		Dense:       cs.dense,
+		AllPairs:    cs.allPairs,
+		CandPairs:   cs.candPairs,
+		RowOff:      cs.rowOff,
+		PrunedCount: cs.prunedCount,
+	}
+	switch {
+	case len(cs.prunedList) > 0: // dense store: already key-sorted
+		d.PrunedKeys = make([]pairbits.Key, len(cs.prunedList))
+		d.PrunedBounds = make([]float64, len(cs.prunedList))
+		for i, p := range cs.prunedList {
+			d.PrunedKeys[i] = p.k
+			d.PrunedBounds[i] = p.bound
+		}
+	case len(cs.prunedUB) > 0: // sparse store: sort the map
+		d.PrunedKeys = make([]pairbits.Key, 0, len(cs.prunedUB))
+		for k := range cs.prunedUB {
+			d.PrunedKeys = append(d.PrunedKeys, k)
+		}
+		sort.Slice(d.PrunedKeys, func(i, j int) bool { return d.PrunedKeys[i] < d.PrunedKeys[j] })
+		d.PrunedBounds = make([]float64, len(d.PrunedKeys))
+		for i, k := range d.PrunedKeys {
+			d.PrunedBounds[i] = cs.prunedUB[k]
+		}
+	}
+	return d
+}
+
+// NewCandidateSetFromData reconstructs a CandidateSet from a previously
+// exported enumeration, skipping the O(|V1|·|V2|) candidate decisions of
+// NewCandidateSet: the label caches and similarity table are rebuilt from
+// the graphs, and the membership index (dense bitmap or sparse hash map)
+// is re-derived from the pair list. The data's structural invariants are
+// validated — row offsets, key ordering, id ranges, store-shape agreement
+// with the options — so corrupted input yields a descriptive error, never
+// a set whose lookups silently disagree with its enumeration.
+func NewCandidateSetFromData(g1, g2 *graph.Graph, opts Options, d CandidateData) (*CandidateSet, error) {
+	if g1 == nil || g2 == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if opts.PinDiagonal && g1.NumNodes() != g2.NumNodes() {
+		return nil, fmt.Errorf("core: PinDiagonal needs equally sized graphs, got |V1|=%d |V2|=%d",
+			g1.NumNodes(), g2.NumNodes())
+	}
+	cs := &CandidateSet{
+		g1: g1, g2: g2,
+		opts: opts,
+		ops:  opts.Operators,
+		n1:   g1.NumNodes(), n2: g2.NumNodes(),
+	}
+	cs.table = strsim.NewTable(opts.Label, g1.LabelNames(), g2.LabelNames())
+	cs.labels1 = make([]graph.Label, cs.n1)
+	for u := 0; u < cs.n1; u++ {
+		cs.labels1[u] = g1.Label(graph.NodeID(u))
+	}
+	cs.labels2 = make([]graph.Label, cs.n2)
+	for v := 0; v < cs.n2; v++ {
+		cs.labels2[v] = g2.Label(graph.NodeID(v))
+	}
+
+	// The shape flags are functions of (graphs, options); recompute and
+	// compare instead of trusting the data.
+	cs.dense = cs.n1*cs.n2 <= opts.DenseCapPairs
+	if cs.dense != d.Dense {
+		return nil, fmt.Errorf("core: candidate data store shape (dense=%v) disagrees with |V1|·|V2|=%d vs DenseCapPairs=%d",
+			d.Dense, cs.n1*cs.n2, opts.DenseCapPairs)
+	}
+	cs.allPairs = cs.dense && opts.Theta == 0 && opts.UpperBoundOpt == nil
+	if cs.allPairs != d.AllPairs {
+		return nil, fmt.Errorf("core: candidate data all-pairs flag %v disagrees with options", d.AllPairs)
+	}
+	cs.prunedCount = d.PrunedCount
+	if cs.allPairs {
+		if len(d.CandPairs) != 0 || len(d.RowOff) != 0 || len(d.PrunedKeys) != 0 || d.PrunedCount != 0 {
+			return nil, fmt.Errorf("core: all-pairs candidate data carries an enumeration")
+		}
+		return cs, nil
+	}
+
+	if len(d.RowOff) != cs.n1+1 {
+		return nil, fmt.Errorf("core: candidate row offsets want length %d, got %d", cs.n1+1, len(d.RowOff))
+	}
+	if d.RowOff[0] != 0 || int(d.RowOff[cs.n1]) != len(d.CandPairs) {
+		return nil, fmt.Errorf("core: candidate row offsets span [%d,%d], want [0,%d]",
+			d.RowOff[0], d.RowOff[cs.n1], len(d.CandPairs))
+	}
+	cs.candPairs = d.CandPairs
+	cs.rowOff = d.RowOff
+	if cs.dense {
+		cs.candBits = pairbits.NewBitset(cs.n1 * cs.n2)
+	} else {
+		cs.index = make(map[pairbits.Key]int32, len(d.CandPairs))
+	}
+	for u := 0; u < cs.n1; u++ {
+		lo, hi := d.RowOff[u], d.RowOff[u+1]
+		if lo > hi {
+			return nil, fmt.Errorf("core: candidate row offsets decrease at row %d", u)
+		}
+		for pos := lo; pos < hi; pos++ {
+			ku, v := d.CandPairs[pos].Split()
+			if int(ku) != u {
+				return nil, fmt.Errorf("core: candidate pair at position %d belongs to row %d, filed under row %d", pos, ku, u)
+			}
+			if int(v) < 0 || int(v) >= cs.n2 {
+				return nil, fmt.Errorf("core: candidate column %d of row %d outside [0,%d)", v, u, cs.n2)
+			}
+			if pos > lo {
+				if _, pv := d.CandPairs[pos-1].Split(); pv >= v {
+					return nil, fmt.Errorf("core: candidate columns of row %d not strictly ascending at position %d", u, pos-lo)
+				}
+			}
+			if cs.dense {
+				cs.candBits.Set(u*cs.n2 + int(v))
+			} else {
+				cs.index[d.CandPairs[pos]] = int32(pos)
+			}
+		}
+	}
+
+	if len(d.PrunedKeys) != len(d.PrunedBounds) {
+		return nil, fmt.Errorf("core: pruned keys/bounds lengths disagree: %d vs %d", len(d.PrunedKeys), len(d.PrunedBounds))
+	}
+	keepBounds := opts.UpperBoundOpt != nil && opts.UpperBoundOpt.Alpha > 0
+	if !keepBounds && len(d.PrunedKeys) != 0 {
+		return nil, fmt.Errorf("core: candidate data retains %d bounds but α = 0 keeps none", len(d.PrunedKeys))
+	}
+	if d.PrunedCount < len(d.PrunedKeys) {
+		return nil, fmt.Errorf("core: pruned count %d below retained bound count %d", d.PrunedCount, len(d.PrunedKeys))
+	}
+	if len(d.PrunedKeys) > 0 {
+		for i, k := range d.PrunedKeys {
+			u, v := k.Split()
+			if int(u) < 0 || int(u) >= cs.n1 || int(v) < 0 || int(v) >= cs.n2 {
+				return nil, fmt.Errorf("core: pruned pair (%d,%d) outside the %d×%d universe", u, v, cs.n1, cs.n2)
+			}
+			if i > 0 && d.PrunedKeys[i-1] >= k {
+				return nil, fmt.Errorf("core: pruned keys not strictly ascending at position %d", i)
+			}
+			if b := d.PrunedBounds[i]; b < 0 || b > 1 {
+				return nil, fmt.Errorf("core: pruned bound %v of pair (%d,%d) outside [0,1]", b, u, v)
+			}
+		}
+		if cs.dense {
+			cs.prunedList = make([]prunedPair, len(d.PrunedKeys))
+			for i, k := range d.PrunedKeys {
+				cs.prunedList[i] = prunedPair{k: k, bound: d.PrunedBounds[i]}
+			}
+		} else {
+			cs.prunedUB = make(map[pairbits.Key]float64, len(d.PrunedKeys))
+			for i, k := range d.PrunedKeys {
+				cs.prunedUB[k] = d.PrunedBounds[i]
+			}
+		}
+	} else if keepBounds && !cs.dense {
+		// Patch expects the map to exist whenever bounds are retained.
+		cs.prunedUB = make(map[pairbits.Key]float64)
+	}
+	return cs, nil
+}

@@ -70,6 +70,7 @@ func Registry() []struct {
 		{"topk", "single-source top-k queries vs full computation", TopK},
 		{"dynamic", "incremental maintenance under update streams vs full recompute", Dynamic},
 		{"serve", "HTTP serving layer load test: cache+coalescing vs naive recompute", Serve},
+		{"snapshot", "binary snapshot warm start vs cold text-parse + Compute", Snapshot},
 	}
 }
 

@@ -19,4 +19,10 @@
 //	table7  top-5 venues for WWW               (§5.4, Table 7)
 //	table8  node-similarity nDCG               (§5.4, Table 8)
 //	table9  graph-alignment F1                 (§5.4, Table 9)
+//
+// Beyond the paper, the systems experiments measure this repository's
+// serving machinery and write machine-readable BENCH_*.json artifacts:
+// delta (worklist convergence), topk (single-source queries), dynamic
+// (incremental maintenance), serve (HTTP layer under mixed load) and
+// snapshot (binary warm start vs cold parse + Compute).
 package experiments

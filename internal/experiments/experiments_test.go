@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the evaluation section must be present,
 	// plus the repo's own delta-convergence and top-k query benchmarks.
 	want := []string{"table2", "table5", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta", "topk", "dynamic", "serve"}
+		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta", "topk", "dynamic", "serve", "snapshot"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -401,6 +401,64 @@ func TestServeExperiment(t *testing.T) {
 		}
 	}
 	if !strings.Contains(buf.String(), "BENCH_serve.json") {
+		t.Fatal("experiment did not report the artifact path")
+	}
+}
+
+// TestSnapshotExperiment runs the snapshot warm-start benchmark at smoke
+// size and validates the BENCH_snapshot.json artifact: both configurations
+// verify bit-identical warm state (max_score_diff 0), and the snapshot
+// load beats the cold parse + Compute path.
+func TestSnapshotExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.JSONDir = t.TempDir()
+	if err := Snapshot(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_snapshot.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Configs []struct {
+			Name          string  `json:"name"`
+			Candidates    int     `json:"candidates"`
+			SnapshotBytes int64   `json:"snapshot_bytes"`
+			ColdSeconds   float64 `json:"cold_parse_compute_seconds"`
+			LoadSeconds   float64 `json:"load_seconds"`
+			Speedup       float64 `json:"speedup"`
+			MaxScoreDiff  float64 `json:"max_score_diff"`
+		} `json:"configs"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Configs) != 2 {
+		t.Fatalf("report has %d configs, want 2 (serving + default)", len(report.Configs))
+	}
+	for _, c := range report.Configs {
+		if c.Candidates == 0 || c.SnapshotBytes == 0 {
+			t.Errorf("%s: empty run (%d candidates, %d snapshot bytes)", c.Name, c.Candidates, c.SnapshotBytes)
+		}
+		if c.MaxScoreDiff != 0 {
+			t.Errorf("%s: warm state diverged from cold by %g", c.Name, c.MaxScoreDiff)
+		}
+		if c.ColdSeconds <= 0 || c.LoadSeconds <= 0 {
+			t.Errorf("%s: missing timings (cold %v, load %v)", c.Name, c.ColdSeconds, c.LoadSeconds)
+		}
+		// The θ=0 default pays a full all-pairs fixed point on the cold
+		// path, so the snapshot must win decisively even at smoke size;
+		// the serving configuration's compute is cheap, so only demand
+		// that loading is not slower than cold start.
+		if c.Name == "default" && c.Speedup < 2 {
+			t.Errorf("default: warm-start speedup %.2fx, want comfortably above 2x", c.Speedup)
+		}
+		if c.Name == "serving" && c.Speedup < 0.8 {
+			t.Errorf("serving: warm start %.2fx slower than cold start", c.Speedup)
+		}
+	}
+	if !strings.Contains(buf.String(), "BENCH_snapshot.json") {
 		t.Fatal("experiment did not report the artifact path")
 	}
 }

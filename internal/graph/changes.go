@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode"
 )
 
 // ChangeOp identifies one kind of graph mutation.
@@ -40,8 +41,9 @@ func (op ChangeOp) String() string {
 //	-e <u> <v>       remove a directed edge
 //	# ...            comment
 //
-// Like node declarations, labels may contain spaces; everything after
-// "+n " is the label.
+// Like node declarations, labels may contain spaces: everything after the
+// directive and its separating whitespace is the label, trimmed at both
+// ends.
 type Change struct {
 	Op    ChangeOp
 	U, V  NodeID // edge endpoints (OpAddEdge, OpRemoveEdge)
@@ -60,18 +62,24 @@ func (c Change) String() string {
 }
 
 // ParseChange parses one non-empty, non-comment line of an update stream.
-// Endpoint ids are validated for syntax only; range checking happens when
-// the change is applied to a concrete graph.
+// The directive and its payload may be separated by any whitespace — tabs
+// as well as spaces, matching the strings.Fields splitting of the payload
+// itself. Endpoint ids are validated for syntax only; range checking
+// happens when the change is applied to a concrete graph.
 func ParseChange(line string) (Change, error) {
-	switch {
-	case line == "+n" || strings.HasPrefix(line, "+n "):
-		return Change{Op: OpAddNode, Label: strings.TrimSpace(strings.TrimPrefix(line, "+n"))}, nil
-	case strings.HasPrefix(line, "+e "), strings.HasPrefix(line, "-e "):
+	dir, rest := line, ""
+	if i := strings.IndexFunc(line, unicode.IsSpace); i >= 0 {
+		dir, rest = line[:i], strings.TrimSpace(line[i:])
+	}
+	switch dir {
+	case "+n":
+		return Change{Op: OpAddNode, Label: rest}, nil
+	case "+e", "-e":
 		op := OpAddEdge
-		if line[0] == '-' {
+		if dir[0] == '-' {
 			op = OpRemoveEdge
 		}
-		fields := strings.Fields(line[2:])
+		fields := strings.Fields(rest)
 		if len(fields) != 2 {
 			return Change{}, fmt.Errorf("graph: want '%s <u> <v>', got %q", op, line)
 		}

@@ -1,0 +1,69 @@
+package graph
+
+import "testing"
+
+// TestParseChangeWhitespace pins the parser's separator handling: the
+// directive and its payload may be split by any whitespace (the regression
+// here was rejecting tab-separated lines while splitting the payload with
+// strings.Fields), labels keep their interior spacing, and malformed lines
+// still fail.
+func TestParseChangeWhitespace(t *testing.T) {
+	cases := []struct {
+		line string
+		want Change
+		ok   bool
+	}{
+		// The canonical space-separated forms.
+		{"+n person", Change{Op: OpAddNode, Label: "person"}, true},
+		{"+e 1 2", Change{Op: OpAddEdge, U: 1, V: 2}, true},
+		{"-e 1 2", Change{Op: OpRemoveEdge, U: 1, V: 2}, true},
+		{"+n", Change{Op: OpAddNode}, true},
+		// Tab-separated directives (the bug: these were rejected).
+		{"+e\t1\t2", Change{Op: OpAddEdge, U: 1, V: 2}, true},
+		{"-e\t1\t2", Change{Op: OpRemoveEdge, U: 1, V: 2}, true},
+		{"+n\tperson", Change{Op: OpAddNode, Label: "person"}, true},
+		// Mixed and repeated whitespace.
+		{"+e \t 1 \t 2", Change{Op: OpAddEdge, U: 1, V: 2}, true},
+		{"+e  3\t4", Change{Op: OpAddEdge, U: 3, V: 4}, true},
+		{"+n\t spaced  label ", Change{Op: OpAddNode, Label: "spaced  label"}, true},
+		{"+n  x", Change{Op: OpAddNode, Label: "x"}, true},
+		// Malformed lines must still be rejected.
+		{"+e\t1", Change{}, false},
+		{"+e\t1\t2\t3", Change{}, false},
+		{"+e\t\t", Change{}, false},
+		{"+n person extra is fine", Change{Op: OpAddNode, Label: "person extra is fine"}, true},
+		{"+etab 1 2", Change{}, false},
+		{"+ e 1 2", Change{}, false},
+		{"-n\t0", Change{}, false},
+		{"", Change{}, false},
+		{"\t", Change{}, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseChange(tc.line)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseChange(%q): err = %v, want ok=%v", tc.line, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseChange(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+	}
+}
+
+// TestParseChangeRoundTrip checks accepted tab-separated changes re-render
+// in the canonical space-separated form and parse back unchanged.
+func TestParseChangeRoundTrip(t *testing.T) {
+	for _, line := range []string{"+e\t0\t7", "-e\t3\t4", "+n\ttabbed label"} {
+		c, err := ParseChange(line)
+		if err != nil {
+			t.Fatalf("ParseChange(%q): %v", line, err)
+		}
+		again, err := ParseChange(c.String())
+		if err != nil {
+			t.Fatalf("ParseChange(%q) of rendered form: %v", c.String(), err)
+		}
+		if again != c {
+			t.Fatalf("round trip of %q changed %+v to %+v", line, c, again)
+		}
+	}
+}

@@ -87,7 +87,15 @@ func New(g1, g2 *graph.Graph, opts core.Options) (*Index, error) {
 // uses this to run batch computation, queries and in-place patches against
 // one component.
 func NewFromCandidates(cs *core.CandidateSet) *Index {
-	ix := &Index{}
+	return NewFromCandidatesAt(cs, 0)
+}
+
+// NewFromCandidatesAt is NewFromCandidates with the graph-version counter
+// seeded at version instead of 0. Warm starts use it to resume the version
+// sequence a snapshot was taken at, so version-keyed caches and clients
+// observe a continuous history across a restart.
+func NewFromCandidatesAt(cs *core.CandidateSet, version uint64) *Index {
+	ix := &Index{version: version}
 	ix.resetLocked(cs)
 	return ix
 }

@@ -36,23 +36,26 @@ type cacheEntry struct {
 	body    []byte
 }
 
-// newResultCache builds a cache of at most `capacity` entries spread over
-// `shards` shards (both already validated/defaulted by the caller). Each
-// shard gets an equal slice of the capacity, minimum one entry.
+// newResultCache builds a cache of exactly `capacity` entries spread over
+// `shards` shards (both already validated/defaulted by the caller): every
+// shard gets capacity/shards entries and the first capacity%shards shards
+// one more, so the configured budget is honored for non-divisible
+// combinations instead of silently losing the remainder.
 func newResultCache(capacity, shards int) *resultCache {
 	if shards > capacity {
 		shards = capacity
 	}
-	per := capacity / shards
-	if per < 1 {
-		per = 1
-	}
+	per, extra := capacity/shards, capacity%shards
 	c := &resultCache{seed: maphash.MakeSeed(), shards: make([]*cacheShard, shards)}
 	for i := range c.shards {
+		n := per
+		if i < extra {
+			n++
+		}
 		c.shards[i] = &cacheShard{
-			capacity: per,
+			capacity: n,
 			ll:       list.New(),
-			items:    make(map[string]*list.Element, per),
+			items:    make(map[string]*list.Element, n),
 		}
 	}
 	return c

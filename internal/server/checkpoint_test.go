@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/snapshot"
+)
+
+// shutdownCtx bounds a test shutdown without leaking its cancel func.
+func shutdownCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// checkpointOptions pins the iteration budget so pre- and post-restart
+// scores are reproducible bit-for-bit, with a selective candidate map so
+// updates stay localized (the serving configuration).
+func checkpointOptions() core.Options {
+	opts := core.DefaultOptions(exact.BJ)
+	opts.Threads = 1
+	opts.Epsilon = 1e-300
+	opts.RelativeEps = false
+	opts.MaxIters = 10
+	opts.Theta = 0.6
+	opts.UpperBoundOpt = &core.UpperBound{Alpha: 0.3, Beta: 0.5}
+	return opts
+}
+
+// TestWarmStartByteIdenticalResponses is the serving half of the snapshot
+// round-trip property: after a graceful shutdown with checkpointing, a
+// server restarted from the snapshot answers every read with a response
+// byte-identical to the pre-restart server's at the same graph version —
+// cache state and all other runtime artifacts excluded by construction,
+// because the payloads are produced from the restored index's scores.
+func TestWarmStartByteIdenticalResponses(t *testing.T) {
+	g := dataset.RandomGraph(41, 18, 54, 3)
+	path := filepath.Join(t.TempDir(), "state.fsnap")
+	srv, err := New(g, checkpointOptions(), Options{SnapshotPath: path, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate past version 0 so the snapshot carries a patched component.
+	for _, batch := range []string{"+e 0 7\n+e 3 11\n", "+n zed\n+e 17 18\n-e 0 7\n"} {
+		if w := do(t, srv, http.MethodPost, "/updates", batch, nil); w.Code != http.StatusOK {
+			t.Fatalf("updates: status %d: %s", w.Code, w.Body.String())
+		}
+	}
+
+	n := srv.Maintainer().Graph().NumNodes()
+	targets := make([]string, 0, n+4)
+	for u := 0; u < n; u++ {
+		targets = append(targets, fmt.Sprintf("/topk?u=%d&k=5", u))
+	}
+	targets = append(targets, "/query?u=0&v=7", "/query?u=3&v=3", "/query?u=17&v=18", "/healthz")
+	before := make(map[string][]byte, len(targets))
+	for _, target := range targets {
+		w := do(t, srv, http.MethodGet, target, "", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", target, w.Code, w.Body.String())
+		}
+		before[target] = w.Body.Bytes()
+	}
+	wantVersion := srv.Maintainer().Version()
+
+	// Graceful shutdown writes the final checkpoint.
+	if err := srv.Shutdown(shutdownCtx(t)); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	mt, err := snapshot.Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if mt.Version() != wantVersion {
+		t.Fatalf("restored version %d, want %d", mt.Version(), wantVersion)
+	}
+	warm := NewFromMaintainer(mt, Options{})
+	defer warm.Shutdown(shutdownCtx(t))
+	for _, target := range targets {
+		w := do(t, warm, http.MethodGet, target, "", nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("warm %s: status %d: %s", target, w.Code, w.Body.String())
+		}
+		if !bytes.Equal(before[target], w.Body.Bytes()) {
+			t.Fatalf("warm %s diverges:\n pre: %s\npost: %s", target, before[target], w.Body.Bytes())
+		}
+	}
+}
+
+// TestPeriodicCheckpoint verifies the apply-hook cadence: with
+// CheckpointEvery = 2, two applied batches eventually produce a loadable
+// snapshot at a version the batches reached, without any shutdown.
+func TestPeriodicCheckpoint(t *testing.T) {
+	g := dataset.RandomGraph(42, 12, 36, 3)
+	path := filepath.Join(t.TempDir(), "state.fsnap")
+	srv, err := New(g, checkpointOptions(), Options{SnapshotPath: path, CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(shutdownCtx(t))
+
+	for _, batch := range []string{"+e 0 5\n", "+e 1 6\n"} {
+		if w := do(t, srv, http.MethodPost, "/updates", batch, nil); w.Code != http.StatusOK {
+			t.Fatalf("updates: status %d: %s", w.Code, w.Body.String())
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if mt, err := snapshot.Load(path); err == nil && mt.Version() >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint at version >= 2 appeared within the deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := srv.metrics.checkpoints.Value(); got < 1 {
+		t.Fatalf("checkpoints counter is %d, want >= 1", got)
+	}
+}
+
+// TestCheckpointErrorCounted keeps failure handling honest: an unwritable
+// snapshot path increments the error counter and leaves serving intact.
+func TestCheckpointErrorCounted(t *testing.T) {
+	g := dataset.RandomGraph(43, 10, 30, 3)
+	path := filepath.Join(t.TempDir(), "missing-dir", "state.fsnap")
+	srv, err := New(g, checkpointOptions(), Options{SnapshotPath: path, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := do(t, srv, http.MethodPost, "/updates", "+e 0 5\n", nil); w.Code != http.StatusOK {
+		t.Fatalf("updates: status %d: %s", w.Code, w.Body.String())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.metrics.checkpointErrors.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpoint error was not counted within the deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if w := do(t, srv, http.MethodGet, "/topk?u=0&k=3", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("reads must survive checkpoint failures, got status %d", w.Code)
+	}
+	var sr StatsResponse
+	do(t, srv, http.MethodGet, "/stats", "", &sr)
+	if sr.CheckpointErrs < 1 || sr.LastCheckpointError == "" {
+		t.Fatalf("stats must expose the failure cause, got errors=%d lastCheckpointError=%q",
+			sr.CheckpointErrs, sr.LastCheckpointError)
+	}
+	if err := srv.Shutdown(shutdownCtx(t)); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}

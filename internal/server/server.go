@@ -49,12 +49,14 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fsim/internal/core"
 	"fsim/internal/dynamic"
 	"fsim/internal/graph"
 	"fsim/internal/query"
+	"fsim/internal/snapshot"
 	"fsim/internal/stats"
 )
 
@@ -76,6 +78,22 @@ type Options struct {
 	MaxInFlight int
 	// MaxUpdateBytes caps a POST /updates body. 0 uses the default (8 MiB).
 	MaxUpdateBytes int64
+	// SnapshotPath, when set, enables crash-safe checkpointing: the
+	// server writes a binary snapshot of the maintainer's state
+	// (internal/snapshot, atomic temp-file + rename) to this path once
+	// more during graceful Shutdown, and — with CheckpointEvery > 0 —
+	// after every CheckpointEvery applied update batches. A process
+	// restarted from the snapshot (fsim.LoadSnapshot +
+	// NewServerFromMaintainer) serves responses byte-identical to the
+	// pre-restart server at the snapshot's graph version, without
+	// recomputing the fixed point.
+	SnapshotPath string
+	// CheckpointEvery is the checkpoint cadence in applied update batches
+	// (0 disables periodic checkpoints; the Shutdown checkpoint still
+	// happens whenever SnapshotPath is set). Checkpoints are written by a
+	// background goroutine off the update path, so a slow disk never
+	// blocks an Apply.
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +124,19 @@ type Server struct {
 	flights flightGroup
 	sem     chan struct{} // nil when unlimited
 
+	// Checkpointing state (zero unless Options.SnapshotPath is set): the
+	// apply hook counts applied batches into ckptPending and pokes ckptCh;
+	// a background goroutine drains the channel and writes snapshots, and
+	// ckptStop tears it down exactly once during Shutdown.
+	ckptCh      chan struct{}
+	ckptDone    chan struct{}
+	ckptStop    sync.Once
+	ckptPending atomic.Int64
+	// ckptLastErr holds the most recent checkpoint failure's message (a
+	// string; empty after a later success), surfaced through /stats so a
+	// climbing error counter is diagnosable without process logs.
+	ckptLastErr atomic.Value
+
 	metrics metrics
 
 	mu       sync.Mutex // guards draining / inflight / drained
@@ -120,6 +151,7 @@ type metrics struct {
 	hits, misses, coalesced                  stats.Counter
 	rejected, unavailable, badRequests       stats.Counter
 	updatesApplied, fullRecomputes           stats.Counter
+	checkpoints, checkpointErrors            stats.Counter
 	computeInFlight                          stats.Gauge
 	computeLatency, updateLatency            stats.Latency
 }
@@ -146,6 +178,11 @@ func NewFromMaintainer(mt *dynamic.Maintainer, sopts Options) *Server {
 	if sopts.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, sopts.MaxInFlight)
 	}
+	if sopts.SnapshotPath != "" {
+		s.ckptCh = make(chan struct{}, 1)
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
 	mt.SetApplyHook(func(version uint64, st dynamic.Stats) {
 		s.metrics.updatesApplied.Add(int64(st.Applied))
 		if st.Full {
@@ -154,8 +191,66 @@ func NewFromMaintainer(mt *dynamic.Maintainer, sopts Options) *Server {
 		if s.cache != nil {
 			s.cache.purgeOlder(version)
 		}
+		// The hook runs under the maintainer's write lock, so it only
+		// counts and pokes; the checkpoint itself (which needs the read
+		// lock) happens on the background goroutine.
+		if s.ckptCh != nil && s.opts.CheckpointEvery > 0 &&
+			s.ckptPending.Add(1) >= int64(s.opts.CheckpointEvery) {
+			s.ckptPending.Store(0)
+			select {
+			case s.ckptCh <- struct{}{}:
+			default: // a checkpoint is already queued; it will cover this batch's version or a newer one
+			}
+		}
 	})
 	return s
+}
+
+// checkpointLoop serializes snapshot writes off the update path.
+func (s *Server) checkpointLoop() {
+	defer close(s.ckptDone)
+	for range s.ckptCh {
+		s.writeCheckpoint()
+	}
+}
+
+// writeCheckpoint persists the maintainer's current state to
+// Options.SnapshotPath. Failures are counted and their cause exposed in
+// /stats, not fatal: the previous snapshot stays intact (the writer
+// renames atomically), so a transient disk error only widens the
+// recovery window.
+func (s *Server) writeCheckpoint() {
+	if err := snapshot.Save(s.mt, s.opts.SnapshotPath); err != nil {
+		s.metrics.checkpointErrors.Inc()
+		s.ckptLastErr.Store(err.Error())
+		return
+	}
+	s.metrics.checkpoints.Inc()
+	s.ckptLastErr.Store("")
+}
+
+// stopCheckpointer shuts the checkpoint goroutine down and writes the
+// final Shutdown checkpoint, so a graceful stop leaves the freshest state
+// on disk. It respects the caller's deadline: when ctx expires while an
+// in-flight periodic checkpoint is still writing, the final checkpoint is
+// abandoned rather than blocking Shutdown past its grace period — the
+// goroutine finishes its current write in the background and the
+// previous snapshot stays valid. Idempotent; a no-op when checkpointing
+// is off.
+func (s *Server) stopCheckpointer(ctx context.Context) {
+	if s.ckptCh == nil {
+		return
+	}
+	s.ckptStop.Do(func() {
+		close(s.ckptCh)
+		select {
+		case <-s.ckptDone:
+			if ctx.Err() == nil {
+				s.writeCheckpoint()
+			}
+		case <-ctx.Done():
+		}
+	})
 }
 
 // Maintainer exposes the owned maintainer (read-mostly callers: tests and
@@ -232,8 +327,13 @@ type StatsResponse struct {
 	BadRequests    int64            `json:"badRequests"`
 	UpdatesApplied int64            `json:"updatesApplied"`
 	FullRecomputes int64            `json:"fullRecomputes"`
-	ComputeLatency LatencyStats     `json:"computeLatency"`
-	UpdateLatency  LatencyStats     `json:"updateLatency"`
+	Checkpoints    int64            `json:"checkpoints"`
+	CheckpointErrs int64            `json:"checkpointErrors"`
+	// LastCheckpointError carries the most recent checkpoint failure's
+	// message (empty once a later checkpoint succeeds).
+	LastCheckpointError string       `json:"lastCheckpointError,omitempty"`
+	ComputeLatency      LatencyStats `json:"computeLatency"`
+	UpdateLatency       LatencyStats `json:"updateLatency"`
 }
 
 type errorResponse struct {
@@ -285,8 +385,13 @@ func (s *Server) leave() {
 // Shutdown gracefully drains the server: new compute and update requests
 // are refused with 503 immediately, in-flight ones run to completion (or
 // until ctx expires), and the maintainer is closed so late writers get
-// dynamic.ErrClosed rather than mutating a drained server. Safe to call
-// more than once.
+// dynamic.ErrClosed rather than mutating a drained server. When
+// checkpointing is configured (Options.SnapshotPath), the final state is
+// written once more after the maintainer closes, so a restart resumes
+// from exactly the drained version — unless ctx has already expired, in
+// which case the final write is skipped and the previous checkpoint
+// remains the recovery point, keeping Shutdown inside the caller's grace
+// period. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -297,19 +402,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	ch := s.drained
 	s.mu.Unlock()
+	var err error
 	if ch != nil {
 		select {
 		case <-ch:
+			err = s.mt.Close()
 		case <-ctx.Done():
 			// The drain timed out, but the shutdown contract — late
 			// writers get dynamic.ErrClosed — must hold regardless:
 			// close the maintainer anyway. Reads still in flight finish
 			// against the final snapshot (Close only refuses Apply).
 			s.mt.Close()
-			return ctx.Err()
+			err = ctx.Err()
 		}
+	} else {
+		err = s.mt.Close()
 	}
-	return s.mt.Close()
+	// Closed means no further Apply can commit, so this checkpoint is the
+	// final word on the served state (reads never mutate it).
+	s.stopCheckpointer(ctx)
+	return err
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -547,8 +659,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BadRequests:    m.badRequests.Value(),
 		UpdatesApplied: m.updatesApplied.Value(),
 		FullRecomputes: m.fullRecomputes.Value(),
+		Checkpoints:    m.checkpoints.Value(),
+		CheckpointErrs: m.checkpointErrors.Value(),
 		ComputeLatency: latencyStats(&m.computeLatency),
 		UpdateLatency:  latencyStats(&m.updateLatency),
+	}
+	if msg, ok := s.ckptLastErr.Load().(string); ok {
+		resp.LastCheckpointError = msg
 	}
 	if s.cache != nil {
 		resp.CacheEntries = s.cache.len()

@@ -1,0 +1,214 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// The wire primitives of the snapshot format: little-endian fixed-width
+// integers and IEEE-754 floats, length-prefixed byte strings, and sections
+// framed as tag + length + payload + CRC32 (IEEE) of the payload.
+//
+// The encoder builds each section's payload in a reusable buffer; the
+// decoder works over a fully read payload with a sticky error, so decode
+// call sites read linearly without per-field error plumbing and every
+// out-of-bounds access degrades to ErrCorrupt instead of a panic.
+
+// enc appends wire primitives to a growing payload buffer.
+type enc struct {
+	b []byte
+}
+
+func (e *enc) reset()        { e.b = e.b[:0] }
+func (e *enc) u8(v uint8)    { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) str(s string) { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+func (e *enc) f64s(v []float64) {
+	for _, x := range v {
+		e.f64(x)
+	}
+}
+
+// dec consumes wire primitives from a payload with a sticky error; once a
+// read fails, every later read returns the zero value.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b) {
+		d.fail("payload truncated: want %d more bytes, have %d", n, len(d.b))
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *dec) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) boolean() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("boolean byte is neither 0 nor 1")
+		return false
+	}
+}
+
+func (d *dec) str() string {
+	n := d.u32()
+	if d.err == nil && int(n) > len(d.b) {
+		d.fail("string length %d exceeds remaining payload %d", n, len(d.b))
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// count reads a u64 element count and validates it against the remaining
+// payload at elemSize bytes per element, so a corrupted count can never
+// drive a huge allocation.
+func (d *dec) count(elemSize int) int {
+	n := d.u64()
+	if d.err == nil && n > uint64(len(d.b))/uint64(elemSize) {
+		d.fail("element count %d exceeds remaining payload (%d bytes at %d per element)", n, len(d.b), elemSize)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) f64s(n int) []float64 {
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+// done flags leftover bytes: every section must be consumed exactly.
+func (d *dec) done() {
+	if d.err == nil && len(d.b) != 0 {
+		d.fail("%d unconsumed bytes at end of section", len(d.b))
+	}
+}
+
+// writeSection frames one payload: 4-byte tag, u64 payload length, the
+// payload, and a CRC32 (IEEE) of the payload.
+func writeSection(w io.Writer, tag string, payload []byte) error {
+	var hdr [12]byte
+	copy(hdr[:4], tag)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// readSection reads and verifies the next section, which must carry the
+// expected tag. The payload is read in bounded chunks so a corrupted
+// length field fails at the stream's real end instead of provoking one
+// huge up-front allocation.
+func readSection(r io.Reader, tag string) ([]byte, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading %s section header: %v", ErrCorrupt, tag, err)
+	}
+	if got := string(hdr[:4]); got != tag {
+		return nil, fmt.Errorf("%w: want section %q, found %q", ErrCorrupt, tag, got)
+	}
+	size := binary.LittleEndian.Uint64(hdr[4:])
+	payload, err := readN(r, size)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading %s payload of %d bytes: %v", ErrCorrupt, tag, size, err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading %s checksum: %v", ErrCorrupt, tag, err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(crc[:]); got != want {
+		return nil, fmt.Errorf("%w: %s checksum mismatch: computed %08x, stored %08x", ErrCorrupt, tag, got, want)
+	}
+	return payload, nil
+}
+
+// readN reads exactly n bytes in at most 1 MiB steps.
+func readN(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	if n <= chunk {
+		buf := make([]byte, n)
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf := make([]byte, 0, chunk)
+	for read := uint64(0); read < n; {
+		step := n - read
+		if step > chunk {
+			step = chunk
+		}
+		cur := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[cur:]); err != nil {
+			return nil, err
+		}
+		read += step
+	}
+	return buf, nil
+}
