@@ -6,18 +6,21 @@
 //	fsimbench [-quick] [-threads N] [-seed S] [-jsondir DIR] <experiment|all> [more experiments...]
 //
 // Experiments: table2 table5 fig4 fig5 fig6 fig7 fig8 fig9 table6 table7
-// table8 table9 delta topk dynamic serve snapshot (see DESIGN.md §4 for
-// the experiment index). Five experiments write machine-readable artifacts
-// into -jsondir: delta writes BENCH_delta.json (iteration-by-iteration
-// active-pair trajectories of worklist-driven delta convergence), topk
-// writes BENCH_topk.json (single-source top-k query latency and speedup vs
-// full computation across k and graph size), dynamic writes
-// BENCH_dynamic.json (incremental maintenance cost per update, single and
-// batched streams, vs full recompute), serve writes BENCH_serve.json
-// (HTTP serving-layer throughput with the version-stamped result cache and
-// request coalescing vs naive per-request recomputation, under a mixed
-// read/update workload) and snapshot writes BENCH_snapshot.json (binary
-// snapshot save/load vs the cold text-parse + Compute restart path).
+// table8 table9 delta topk dynamic serve snapshot scale (see DESIGN.md §4
+// for the experiment index). Six experiments write machine-readable
+// artifacts into -jsondir: delta writes BENCH_delta.json
+// (iteration-by-iteration active-pair trajectories of worklist-driven
+// delta convergence), topk writes BENCH_topk.json (single-source top-k
+// query latency and speedup vs full computation across k and graph size),
+// dynamic writes BENCH_dynamic.json (incremental maintenance cost per
+// update, single and batched streams, vs full recompute), serve writes
+// BENCH_serve.json (HTTP serving-layer throughput with the version-stamped
+// result cache and request coalescing vs naive per-request recomputation,
+// under a mixed read/update workload), snapshot writes BENCH_snapshot.json
+// (binary snapshot save/load vs the cold text-parse + Compute restart
+// path) and scale writes BENCH_scale.json (nodes × edges × threads sweep
+// of the dynamic chunk queue on ≥10⁵-edge power-law graphs: wall-clock,
+// speedup, load balance and a cross-thread determinism digest).
 package main
 
 import (

@@ -4,8 +4,14 @@
 // Usage:
 //
 //	fsimgen [-scale N] [-seed S] [-errors R] [-labelerrors R] [-density F] <dataset> <out.txt>
+//	fsimgen -nodes N -edges M [-labels L] [-alpha A] [-seed S] [...] <out.txt>
 //
 // Datasets: Yeast, Cora, Wiki, JDK, NELL, GP, Amazon, ACMCit.
+//
+// The second form generates a free-form power-law graph instead of a
+// Table 4 stand-in: N nodes, M edges, a label vocabulary of L (default
+// 32) and degree exponent A (default 1.0). The perturbation flags
+// (-errors, -labelerrors, -density) apply to both forms.
 package main
 
 import (
@@ -23,16 +29,30 @@ func main() {
 	structural := flag.Float64("errors", 0, "structural error ratio (edges added/removed)")
 	labels := flag.Float64("labelerrors", 0, "label error ratio (nodes corrupted)")
 	density := flag.Int("density", 1, "density multiplier (extra random edges)")
+	nodes := flag.Int("nodes", 0, "power-law mode: node count (enables free-form generation)")
+	edges := flag.Int("edges", 0, "power-law mode: edge count")
+	vocab := flag.Int("labels", 32, "power-law mode: label vocabulary size")
+	alpha := flag.Float64("alpha", 1.0, "power-law mode: degree exponent")
 	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintf(os.Stderr, "usage: fsimgen [flags] <dataset> <out.txt>\ndatasets: %s\n",
-			strings.Join(dataset.DatasetNames(), ", "))
-		os.Exit(2)
-	}
 
-	spec, err := dataset.PaperSpec(flag.Arg(0), *scale)
-	if err != nil {
-		fatal(err)
+	var spec dataset.Spec
+	switch {
+	case *nodes > 0: // free-form power-law mode: single positional out.txt
+		if flag.NArg() != 1 {
+			usage()
+		}
+		if *edges <= 0 {
+			fatal(fmt.Errorf("-nodes requires -edges > 0"))
+		}
+		spec = dataset.PowerLaw(*nodes, *edges, *vocab, *alpha, 42)
+	case flag.NArg() == 2:
+		var err error
+		spec, err = dataset.PaperSpec(flag.Arg(0), *scale)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
 	}
 	spec.Seed += *seed
 	g := spec.Generate()
@@ -45,10 +65,19 @@ func main() {
 	if *density > 1 {
 		g = dataset.Densify(g, *density, spec.Seed+107)
 	}
-	if err := g.WriteFile(flag.Arg(1)); err != nil {
+	out := flag.Arg(flag.NArg() - 1)
+	if err := g.WriteFile(out); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "%s -> %s: %s\n", flag.Arg(0), flag.Arg(1), g.Stats())
+	fmt.Fprintf(os.Stderr, "%s -> %s: %s\n", spec.Name, out, g.Stats())
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: fsimgen [flags] <dataset> <out.txt>\n"+
+		"       fsimgen -nodes N -edges M [-labels L] [-alpha A] [flags] <out.txt>\n"+
+		"datasets: %s\n",
+		strings.Join(dataset.DatasetNames(), ", "))
+	os.Exit(2)
 }
 
 func fatal(err error) {

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 
 	"fsim/internal/graph"
@@ -91,18 +93,47 @@ func NewCandidateSet(g1, g2 *graph.Graph, opts Options) (*CandidateSet, error) {
 	for v := 0; v < cs.n2; v++ {
 		cs.labels2[v] = g2.Label(graph.NodeID(v))
 	}
-	cs.dense = cs.n1*cs.n2 <= opts.DenseCapPairs
-	cs.build()
+	cs.dense = densePairs(cs.n1, cs.n2, opts.DenseCapPairs)
+	if err := cs.build(); err != nil {
+		return nil, err
+	}
 	return cs, nil
 }
+
+// densePairs decides the dense store: the pair universe must fit the cap
+// AND the platform int, both checked in 64-bit arithmetic. On 32-bit
+// builds n1·n2 computed in int silently wraps for graphs beyond ~46k×46k
+// nodes — a wrapped (possibly negative) product would pass the cap check
+// and every u·n2+v slot index after it would mis-address the buffers, so
+// the product is never formed in int unless this predicate holds.
+func densePairs(n1, n2, capPairs int) bool {
+	pairs := int64(n1) * int64(n2)
+	return pairs <= int64(capPairs) && pairs <= int64(maxInt)
+}
+
+// maxInt is the platform's largest int (untyped, usable in int64 compares).
+const maxInt = int(^uint(0) >> 1)
+
+// maxCandidates bounds the candidate enumeration: row offsets and the
+// sparse index store positions as int32, so a larger map would silently
+// wrap. Graphs that reach it need a higher Theta or upper-bound pruning.
+const maxCandidates = math.MaxInt32
 
 // build enumerates Hc (Algorithm 1's Initializing step): pairs passing the
 // label constraint (L ≥ θ) and, when upper-bound updating is on, pairs
 // whose Eq. 6 bound exceeds β.
-func (cs *CandidateSet) build() {
+//
+// With θ > 0 the enumeration is label-blocked: only pairs whose label pair
+// passes the constraint are probed, via per-label node lists and the
+// |Σ1|×|Σ2| similarity table, making construction O(|Σ1|·|Σ2| + eligible
+// pairs) instead of O(|V1|·|V2|) — the difference between seconds and
+// hours on the 10^5–10^6-edge graphs cmd/fsimgen generates. Both paths
+// funnel every probed pair through decide, so the candidate decisions are
+// identical by construction.
+func (cs *CandidateSet) build() error {
 	cs.allPairs = cs.dense && cs.opts.Theta == 0 && cs.opts.UpperBoundOpt == nil
 	if cs.allPairs {
-		return // every pair is a candidate
+		return nil // every pair is a candidate
 	}
 	if cs.dense {
 		cs.candBits = pairbits.NewBitset(cs.n1 * cs.n2)
@@ -116,38 +147,90 @@ func (cs *CandidateSet) build() {
 			cs.prunedUB = make(map[pairbits.Key]float64)
 		}
 	}
+	var eligLabels [][]int32      // per g1 label, the g2 labels with L ≥ θ
+	var byLabel2 [][]graph.NodeID // per g2 label, its nodes ascending
+	var rowScratch []graph.NodeID // per-row eligible columns, reused
+	if cs.opts.Theta > 0 {
+		eligLabels, byLabel2 = cs.labelBlocks()
+	}
 	cs.rowOff = make([]int32, cs.n1+1)
 	for u := 0; u < cs.n1; u++ {
 		cs.rowOff[u] = int32(len(cs.candPairs))
-		for v := 0; v < cs.n2; v++ {
-			un, vn := graph.NodeID(u), graph.NodeID(v)
-			ok, bound, pruned := cs.candidate(un, vn)
-			if !ok {
-				if pruned {
-					cs.prunedCount++
-					if keepBounds {
-						if cs.dense {
-							// Enumeration order is (u, v) ascending, so
-							// the slice stays key-sorted for StandIn's
-							// binary search.
-							cs.prunedList = append(cs.prunedList, prunedPair{pairbits.MakeKey(un, vn), bound})
-						} else {
-							cs.prunedUB[pairbits.MakeKey(un, vn)] = bound
-						}
-					}
-				}
-				continue
+		if eligLabels != nil {
+			rowScratch = rowScratch[:0]
+			for _, l2 := range eligLabels[cs.labels1[u]] {
+				rowScratch = append(rowScratch, byLabel2[l2]...)
 			}
-			k := pairbits.MakeKey(un, vn)
-			if cs.dense {
-				cs.candBits.Set(u*cs.n2 + v)
-			} else {
-				cs.index[k] = int32(len(cs.candPairs))
+			// Enumeration order must be v-ascending within the row (the
+			// rowOff contract, and what keeps candPairs/prunedList
+			// key-sorted); the label blocks arrive out of order.
+			slices.Sort(rowScratch)
+			for _, vn := range rowScratch {
+				cs.decide(graph.NodeID(u), vn, keepBounds)
 			}
-			cs.candPairs = append(cs.candPairs, k)
+		} else {
+			for v := 0; v < cs.n2; v++ {
+				cs.decide(graph.NodeID(u), graph.NodeID(v), keepBounds)
+			}
+		}
+		if len(cs.candPairs) > maxCandidates {
+			return fmt.Errorf("core: candidate map exceeds %d pairs at row %d of %d (|V1|·|V2|=%d·%d); raise Theta or enable upper-bound pruning",
+				maxCandidates, u, cs.n1, cs.n1, cs.n2)
 		}
 	}
 	cs.rowOff[cs.n1] = int32(len(cs.candPairs))
+	return nil
+}
+
+// decide runs one pair through the candidate test and files it into the
+// store (candidate map, or pruned list/map when §3.4 rejected it). Callers
+// must present pairs in (u, v)-ascending order.
+func (cs *CandidateSet) decide(un, vn graph.NodeID, keepBounds bool) {
+	ok, bound, pruned := cs.candidate(un, vn)
+	if !ok {
+		if pruned {
+			cs.prunedCount++
+			if keepBounds {
+				if cs.dense {
+					// Enumeration order is (u, v) ascending, so the slice
+					// stays key-sorted for StandIn's binary search.
+					cs.prunedList = append(cs.prunedList, prunedPair{pairbits.MakeKey(un, vn), bound})
+				} else {
+					cs.prunedUB[pairbits.MakeKey(un, vn)] = bound
+				}
+			}
+		}
+		return
+	}
+	k := pairbits.MakeKey(un, vn)
+	if cs.dense {
+		cs.candBits.Set(int(un)*cs.n2 + int(vn))
+	} else {
+		cs.index[k] = int32(len(cs.candPairs))
+	}
+	cs.candPairs = append(cs.candPairs, k)
+}
+
+// labelBlocks precomputes the label-constraint structure of the θ > 0
+// enumeration: for every g1 label the g2 labels it may pair with, and for
+// every g2 label its nodes in ascending id order.
+func (cs *CandidateSet) labelBlocks() (eligLabels [][]int32, byLabel2 [][]graph.NodeID) {
+	nl1 := len(cs.g1.LabelNames())
+	nl2 := len(cs.g2.LabelNames())
+	byLabel2 = make([][]graph.NodeID, nl2)
+	for v := 0; v < cs.n2; v++ {
+		l := cs.labels2[v]
+		byLabel2[l] = append(byLabel2[l], graph.NodeID(v))
+	}
+	eligLabels = make([][]int32, nl1)
+	for l1 := 0; l1 < nl1; l1++ {
+		for l2 := 0; l2 < nl2; l2++ {
+			if cs.table.Sim(l1, l2) >= cs.opts.Theta {
+				eligLabels[l1] = append(eligLabels[l1], int32(l2))
+			}
+		}
+	}
+	return eligLabels, byLabel2
 }
 
 // candidate decides membership in Hc and (with ub on) returns the Eq. 6

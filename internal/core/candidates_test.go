@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestDensePairsOverflow pins the store-shape predicate's arithmetic: the
+// pair universe is evaluated in 64-bit regardless of platform, so products
+// that would wrap a 32-bit int (or exceed the configured cap) select the
+// sparse store instead of mis-addressing a dense buffer.
+func TestDensePairsOverflow(t *testing.T) {
+	capCases := []struct {
+		n1, n2, cap int
+		want        bool
+	}{
+		{0, 0, 48_000_000, true},
+		{1000, 1000, 48_000_000, true},
+		{1000, 1000, 1_000_000, true},  // exactly at the cap
+		{1000, 1001, 1_000_000, false}, // one row past the cap
+	}
+	for _, c := range capCases {
+		if got := densePairs(c.n1, c.n2, c.cap); got != c.want {
+			t.Errorf("densePairs(%d, %d, cap=%d) = %v, want %v", c.n1, c.n2, c.cap, got, c.want)
+		}
+	}
+
+	// 46341² ≈ 2^31 + ε wraps a 32-bit int negative; a naive `n1*n2 <= cap`
+	// would accept the wrapped product. The predicate evaluates in int64, so
+	// it must admit the pair universe exactly when it fits the platform int
+	// (true on 64-bit builds, false on 32-bit) — never via wraparound.
+	big := 46_341
+	want := int64(big)*int64(big) <= int64(maxInt)
+	if got := densePairs(big, big, maxInt); got != want {
+		t.Errorf("densePairs(%d, %d, cap=maxInt) = %v, want %v", big, big, got, want)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+)
+
+// determinismThreads is the thread sweep every determinism property runs:
+// under- and over-subscribed relative to any plausible host.
+var determinismThreads = []int{1, 2, 4, 8}
+
+// scoresOf flattens a result into the deterministic ForEach order.
+func scoresOf(res *Result) []float64 {
+	out := make([]float64, 0, res.CandidateCount)
+	res.ForEach(func(u, v graph.NodeID, s float64) { out = append(out, s) })
+	return out
+}
+
+// requireBitIdentical compares two score vectors bit for bit; math.Float64bits
+// distinguishes even -0 from 0 and NaN payloads.
+func requireBitIdentical(t *testing.T, want, got []float64, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: score count %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: score %d differs: %v vs %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// determinismGraph returns the property's workload: the graph file named by
+// FSIM_DETERMINISM_GRAPH when set (the CI race smoke generates a ~10⁴-edge
+// power-law graph with fsimgen and runs this property against it under
+// -race), else a smaller seeded in-process generation that keeps the
+// everyday suite fast.
+func determinismGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	if path := os.Getenv("FSIM_DETERMINISM_GRAPH"); path != "" {
+		g, err := graph.ReadFile(path)
+		if err != nil {
+			t.Fatalf("FSIM_DETERMINISM_GRAPH: %v", err)
+		}
+		return g
+	}
+	spec := dataset.PowerLaw(500, 3000, 100, 1.1, 11)
+	return spec.Generate()
+}
+
+// TestParallelDeterminism is the dynamic chunk queue's core property: for
+// every variant, both stores, full and delta strategies, and a float32 run,
+// Compute returns bit-identical scores at every thread count. The chunk
+// schedule (which worker claims which chunk, and in what order) varies
+// freely across runs; the synchronous Jacobi update makes the scores
+// schedule-independent, and this test pins that contract. Run under -race
+// in CI against a fsimgen-generated graph (see determinismGraph).
+func TestParallelDeterminism(t *testing.T) {
+	g := determinismGraph(t)
+	threads := determinismThreads
+	if os.Getenv("FSIM_DETERMINISM_GRAPH") != "" {
+		// The CI graph is ~10x the in-process one and runs under -race
+		// (another ~10x); two thread counts keep the job inside its budget
+		// while still crossing the serial/parallel schedule boundary.
+		threads = []int{1, 4}
+	}
+	kinds := []struct {
+		name  string
+		tweak func(o *Options)
+	}{
+		{"dense-full", func(o *Options) {}},
+		{"sparse-full", func(o *Options) { o.DenseCapPairs = 1 }},
+		{"dense-delta", func(o *Options) { o.DeltaMode = true }},
+		{"sparse-delta", func(o *Options) { o.DenseCapPairs = 1; o.DeltaMode = true }},
+		{"dense-f32", func(o *Options) { o.Float32Scores = true }},
+	}
+	for _, variant := range exact.Variants {
+		for _, kind := range kinds {
+			t.Run(fmt.Sprintf("%v/%s", variant, kind.name), func(t *testing.T) {
+				var want []float64
+				for _, threadCount := range threads {
+					opts := DefaultOptions(variant)
+					opts.Theta = 0.6
+					opts.UpperBoundOpt = &UpperBound{Alpha: 0.3, Beta: 0.5}
+					opts.Epsilon = 1e-300 // pin the iteration count
+					opts.RelativeEps = false
+					opts.MaxIters = 5
+					opts.Threads = threadCount
+					kind.tweak(&opts)
+					res, err := Compute(g, g, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := scoresOf(res)
+					if want == nil {
+						want = got
+						if len(want) == 0 {
+							t.Fatal("empty candidate set: the property would be vacuous")
+						}
+						continue
+					}
+					requireBitIdentical(t, want, got, fmt.Sprintf("threads=%d", threadCount))
+				}
+			})
+		}
+	}
+}
+
+// TestParallelDeterminismAllPairs covers the remaining scheduler path: the
+// θ=0 unpruned dense fast case chunks contiguous rows rather than candidate
+// positions.
+func TestParallelDeterminismAllPairs(t *testing.T) {
+	g := dataset.RandomGraph(17, 80, 400, 5)
+	var want []float64
+	for _, threads := range determinismThreads {
+		opts := DefaultOptions(exact.BJ)
+		opts.Epsilon = 1e-300
+		opts.RelativeEps = false
+		opts.MaxIters = 5
+		opts.Threads = threads
+		res, err := Compute(g, g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := scoresOf(res)
+		if want == nil {
+			want = got
+			continue
+		}
+		requireBitIdentical(t, want, got, fmt.Sprintf("threads=%d", threads))
+	}
+}

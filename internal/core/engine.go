@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fsim/internal/graph"
@@ -27,13 +28,69 @@ type engine struct {
 	*CandidateSet
 
 	prev, cur []float64
+	// prev32/cur32 replace prev/cur when Options.Float32Scores is set: half
+	// the store footprint and memory traffic, at float32 precision. Exactly
+	// one of the two buffer pairs is allocated.
+	prev32, cur32 []float32
+	f32           bool
+
+	// workers holds one reusable, cache-line-padded state per worker
+	// goroutine, allocated once per computation.
+	workers []engineWorker
 
 	// Delta-mode worklist state (nil unless Options.DeltaMode). Slots are
 	// score-buffer indices: u·n2+v in dense mode, candidate position in
 	// sparse mode.
 	active     pairbits.Bitset // slots to recompute this iteration
 	nextActive pairbits.Bitset // slots reactivated by this iteration's dirty pairs
-	dirtyPer   [][]int         // per-worker slots whose change exceeded DeltaEps
+}
+
+// chunkSlots is the target number of score slots a worker claims per grab
+// from the shared chunk cursor: large enough that the atomic add amortizes
+// to nothing and a chunk's CSR rows stay cache-resident, small enough that
+// a skewed run of heavy candidate rows is split across workers instead of
+// serializing on one (the failure mode of the old round-robin striding,
+// where worker t owned every (t mod threads)-th pair forever).
+const chunkSlots = 4096
+
+// chunkWords is the delta strategy's grab size in active-bitset words
+// (64 slots per word).
+const chunkWords = chunkSlots / 64
+
+// engineWorker is one worker goroutine's reusable state: operator scratch,
+// dirty-slot accumulator and running extrema. The trailing pad keeps
+// adjacent workers' hot write slots (work, maxAbs, maxRel — updated every
+// pair) at least a cache line apart; the per-worker reduction slices this
+// replaces (absPer/relPer []float64, work []int64) put neighbors 8 bytes
+// apart and false-shared every line.
+type engineWorker struct {
+	updateState
+	dirty []int // slots whose change exceeded DeltaEps this iteration
+	_     [128]byte
+}
+
+// begin resets the per-iteration accumulators, keeping the allocated
+// scratch and dirty capacity.
+func (w *engineWorker) begin() {
+	w.work = 0
+	w.maxAbs = 0
+	w.maxRel = 0
+	w.dirty = w.dirty[:0]
+}
+
+// chunkSize picks the contiguous grab size for a workload of total units:
+// the cache-blocked target, shrunk so every worker can claim several
+// chunks on small workloads (a single grab spanning the whole queue would
+// serialize it), floored at one unit.
+func chunkSize(total, threads, target int) int {
+	c := target
+	if byShare := total / (threads * 4); byShare < c {
+		c = byShare
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // Compute runs the FSimχ framework on (g1, g2) and returns the fractional
@@ -60,10 +117,11 @@ func ComputeOn(cs *CandidateSet) (*Result, error) {
 // computeOn iterates Equation 3 to its fixed point over a prebuilt
 // candidate component.
 func computeOn(cs *CandidateSet, start time.Time) (*Result, error) {
-	e := &engine{CandidateSet: cs}
+	e := &engine{CandidateSet: cs, f32: cs.opts.Float32Scores}
 	opts := cs.opts
 	e.initBuffers()
 	e.initScores()
+	e.initWorkers()
 
 	res := &Result{
 		cs:          cs,
@@ -86,6 +144,7 @@ func computeOn(cs *CandidateSet, start time.Time) (*Result, error) {
 		res.Iterations = it
 		res.Deltas = append(res.Deltas, maxAbs)
 		e.prev, e.cur = e.cur, e.prev
+		e.prev32, e.cur32 = e.cur32, e.prev32
 		var done bool
 		if opts.RelativeEps {
 			done = maxRel < opts.Epsilon
@@ -100,7 +159,9 @@ func computeOn(cs *CandidateSet, start time.Time) (*Result, error) {
 			e.syncAndAdvance()
 		}
 	}
-	res.scores = e.prev // latest completed iteration after the final swap
+	// Latest completed iteration after the final swap.
+	res.scores = e.prev
+	res.scores32 = e.prev32
 	res.Duration = time.Since(start)
 	return res, nil
 }
@@ -120,21 +181,64 @@ func (e *engine) eligibleFn() func(x, y graph.NodeID) bool {
 // initBuffers allocates the two score buffers and bakes the constant §3.4
 // stand-ins of pruned pairs into the dense store (both buffers, forever).
 func (e *engine) initBuffers() {
-	if e.dense {
-		e.prev = make([]float64, e.n1*e.n2)
-		e.cur = make([]float64, e.n1*e.n2)
-		if ub := e.opts.UpperBoundOpt; ub != nil && ub.Alpha > 0 {
-			for _, p := range e.prunedList {
-				u, v := p.k.Split()
-				i := int(u)*e.n2 + int(v)
-				e.prev[i] = ub.Alpha * p.bound
-				e.cur[i] = ub.Alpha * p.bound
-			}
-		}
+	slots := e.numSlots()
+	if e.f32 {
+		e.prev32 = make([]float32, slots)
+		e.cur32 = make([]float32, slots)
+	} else {
+		e.prev = make([]float64, slots)
+		e.cur = make([]float64, slots)
+	}
+	if !e.dense {
 		return
 	}
-	e.prev = make([]float64, len(e.candPairs))
-	e.cur = make([]float64, len(e.candPairs))
+	if ub := e.opts.UpperBoundOpt; ub != nil && ub.Alpha > 0 {
+		for _, p := range e.prunedList {
+			u, v := p.k.Split()
+			i := int(u)*e.n2 + int(v)
+			e.setBoth(i, ub.Alpha*p.bound)
+		}
+	}
+}
+
+// setBoth writes a constant into the same slot of both buffers.
+func (e *engine) setBoth(i int, s float64) {
+	if e.f32 {
+		e.prev32[i] = float32(s)
+		e.cur32[i] = float32(s)
+		return
+	}
+	e.prev[i] = s
+	e.cur[i] = s
+}
+
+// setPrev seeds one slot of the previous-iteration buffer.
+func (e *engine) setPrev(i int, s float64) {
+	if e.f32 {
+		e.prev32[i] = float32(s)
+		return
+	}
+	e.prev[i] = s
+}
+
+// prevScore reads one slot of the previous-iteration buffer.
+func (e *engine) prevScore(i int) float64 {
+	if e.f32 {
+		return float64(e.prev32[i])
+	}
+	return e.prev[i]
+}
+
+// initWorkers allocates the padded per-worker states reused across
+// iterations (scratch, dirty capacity and score accessors survive the
+// per-iteration resets).
+func (e *engine) initWorkers() {
+	e.workers = make([]engineWorker, e.opts.Threads)
+	for t := range e.workers {
+		e.workers[t].updateState = updateState{
+			scratch: newOpScratch(), lookup: e.lookupFunc(), eligible: e.eligibleFn(),
+		}
+	}
 }
 
 // scoreIndex maps a candidate list position to its score-buffer index.
@@ -151,14 +255,14 @@ func (e *engine) initScores() {
 	if e.allPairs { // dense, all pairs
 		for u := 0; u < e.n1; u++ {
 			for v := 0; v < e.n2; v++ {
-				e.prev[u*e.n2+v] = e.InitScore(graph.NodeID(u), graph.NodeID(v))
+				e.setPrev(u*e.n2+v, e.InitScore(graph.NodeID(u), graph.NodeID(v)))
 			}
 		}
 		return
 	}
 	for pos, k := range e.candPairs {
 		u, v := k.Split()
-		e.prev[e.scoreIndex(pos)] = e.InitScore(u, v)
+		e.setPrev(e.scoreIndex(pos), e.InitScore(u, v))
 	}
 }
 
@@ -175,28 +279,33 @@ type updateState struct {
 	maxRel   float64
 }
 
-func (e *engine) newUpdateState() *updateState {
-	return &updateState{scratch: newOpScratch(), lookup: e.lookupFunc(), eligible: e.eligibleFn()}
-}
-
 // updateSlot recomputes pair (u, v) into cur[i] (Lines 5–8 of Algorithm 1)
-// and returns the absolute score change.
+// and returns the absolute score change. Under Float32Scores the change is
+// measured between the stored (rounded) values, so the convergence
+// criterion and the delta worklist's stability test act on exactly the
+// scores later iterations will read.
 func (e *engine) updateSlot(st *updateState, u, v graph.NodeID, i int) float64 {
 	s := e.updatePair(u, v, st.eligible, st.lookup, st.scratch)
 	st.work += int64(e.g1.OutDegree(u))*int64(e.g2.OutDegree(v)) +
 		int64(e.g1.InDegree(u))*int64(e.g2.InDegree(v)) + 1
+	p := e.prevScore(i)
 	if damping := e.opts.Damping; damping > 0 {
-		s = damping*e.prev[i] + (1-damping)*s
+		s = damping*p + (1-damping)*s
 	}
-	e.cur[i] = s
-	d := s - e.prev[i]
+	if e.f32 {
+		e.cur32[i] = float32(s)
+		s = float64(e.cur32[i])
+	} else {
+		e.cur[i] = s
+	}
+	d := s - p
 	if d < 0 {
 		d = -d
 	}
 	if d > st.maxAbs {
 		st.maxAbs = d
 	}
-	if p := e.prev[i]; p > 0 {
+	if p > 0 {
 		if r := d / p; r > st.maxRel {
 			st.maxRel = r
 		}
@@ -207,43 +316,92 @@ func (e *engine) updateSlot(st *updateState, u, v graph.NodeID, i int) float64 {
 }
 
 // iterate runs one synchronous update of every candidate pair (Lines 4–9 of
-// Algorithm 1), sharding pairs round-robin over the configured workers. It
-// returns the maximum absolute and relative score changes.
+// Algorithm 1). Workers claim contiguous cache-blocked chunks from a shared
+// atomic cursor: consecutive slots share CSR rows and score-buffer cache
+// lines, and a worker that lands on a run of heavy candidate rows simply
+// claims fewer chunks while its peers drain the rest — work stays balanced
+// under degree skew without any static assignment. Scores are identical at
+// any thread count and chunk schedule: each slot's update reads only prev
+// and writes only its own cur entry, so the result is order-independent by
+// construction. It returns the maximum absolute and relative score changes.
 func (e *engine) iterate(work []int64) (maxAbs, maxRel float64) {
-	threads := e.opts.Threads
-	absPer := make([]float64, threads)
-	relPer := make([]float64, threads)
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			st := e.newUpdateState()
-			if e.allPairs { // dense over the full universe
-				for u := t; u < e.n1; u += threads {
+	var cursor atomic.Int64
+	if e.allPairs { // dense over the full universe: chunk contiguous rows
+		target := 1
+		if e.n2 > 0 {
+			if target = chunkSlots / e.n2; target < 1 {
+				target = 1
+			}
+		}
+		rows := chunkSize(e.n1, len(e.workers), target)
+		e.runWorkers(func(w *engineWorker) {
+			for {
+				end := int(cursor.Add(int64(rows)))
+				beg := end - rows
+				if beg >= e.n1 {
+					return
+				}
+				if end > e.n1 {
+					end = e.n1
+				}
+				for u := beg; u < end; u++ {
+					base := u * e.n2
 					for v := 0; v < e.n2; v++ {
-						e.updateSlot(st, graph.NodeID(u), graph.NodeID(v), u*e.n2+v)
+						e.updateSlot(&w.updateState, graph.NodeID(u), graph.NodeID(v), base+v)
 					}
 				}
-			} else {
-				for pos := t; pos < len(e.candPairs); pos += threads {
+			}
+		})
+	} else { // chunk contiguous candidate-list positions
+		total := len(e.candPairs)
+		chunk := chunkSize(total, len(e.workers), chunkSlots)
+		e.runWorkers(func(w *engineWorker) {
+			for {
+				end := int(cursor.Add(int64(chunk)))
+				beg := end - chunk
+				if beg >= total {
+					return
+				}
+				if end > total {
+					end = total
+				}
+				for pos := beg; pos < end; pos++ {
 					u, v := e.candPairs[pos].Split()
-					e.updateSlot(st, u, v, e.scoreIndex(pos))
+					e.updateSlot(&w.updateState, u, v, e.scoreIndex(pos))
 				}
 			}
-			absPer[t] = st.maxAbs
-			relPer[t] = st.maxRel
-			work[t] += st.work
-		}(t)
+		})
+	}
+	return e.reduce(work)
+}
+
+// runWorkers resets every worker state, fans body out over the worker
+// goroutines and waits for the barrier.
+func (e *engine) runWorkers(body func(w *engineWorker)) {
+	var wg sync.WaitGroup
+	for t := range e.workers {
+		w := &e.workers[t]
+		w.begin()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(w)
+		}()
 	}
 	wg.Wait()
-	for t := 0; t < threads; t++ {
-		if absPer[t] > maxAbs {
-			maxAbs = absPer[t]
+}
+
+// reduce folds the per-worker extrema and work counters after the barrier.
+func (e *engine) reduce(work []int64) (maxAbs, maxRel float64) {
+	for t := range e.workers {
+		w := &e.workers[t]
+		if w.maxAbs > maxAbs {
+			maxAbs = w.maxAbs
 		}
-		if relPer[t] > maxRel {
-			maxRel = relPer[t]
+		if w.maxRel > maxRel {
+			maxRel = w.maxRel
 		}
+		work[t] += w.work
 	}
 	return maxAbs, maxRel
 }
@@ -272,10 +430,10 @@ func (e *engine) slotPair(slot int) (graph.NodeID, graph.NodeID) {
 // full strategy.
 func (e *engine) initWorklist() {
 	copy(e.cur, e.prev)
+	copy(e.cur32, e.prev32)
 	slots := e.numSlots()
 	e.active = pairbits.NewBitset(slots)
 	e.nextActive = pairbits.NewBitset(slots)
-	e.dirtyPer = make([][]int, e.opts.Threads)
 	e.markAll(e.active)
 }
 
@@ -294,51 +452,45 @@ func (e *engine) markAll(b pairbits.Bitset) {
 	}
 }
 
-// iterateDelta runs one synchronous update of the active worklist only,
-// sharding bitset words round-robin over the configured workers. Each
-// worker records the slots whose change exceeded DeltaEps into its own
-// dirty set; syncAndAdvance merges them after the barrier. Inactive pairs
-// are untouched: their buffered scores are, by the worklist invariant,
-// already the value a recomputation would produce (bit-identical when
+// iterateDelta runs one synchronous update of the active worklist only.
+// Workers claim contiguous runs of bitset words from a shared atomic
+// cursor — the same dynamic cache-blocked handout as the full strategy, so
+// a dense cluster of active slots (the usual shape after an update touches
+// one region) is split across workers instead of landing on whichever
+// worker the round-robin stride assigned that region to. Each worker
+// records the slots whose change exceeded DeltaEps into its own dirty set;
+// syncAndAdvance merges them after the barrier. Inactive pairs are
+// untouched: their buffered scores are, by the worklist invariant, already
+// the value a recomputation would produce (bit-identical when
 // DeltaEps = 0), so both the scores and the returned extrema match the
 // full strategy.
 func (e *engine) iterateDelta(work []int64) (maxAbs, maxRel float64) {
-	threads := e.opts.Threads
-	absPer := make([]float64, threads)
-	relPer := make([]float64, threads)
 	eps := e.opts.DeltaEps
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			st := e.newUpdateState()
-			dirty := e.dirtyPer[t][:0]
-			for w := t; w < len(e.active); w += threads {
-				for word := e.active[w]; word != 0; word &= word - 1 {
-					slot := w*64 + bits.TrailingZeros64(word)
+	words := len(e.active)
+	chunk := chunkSize(words, len(e.workers), chunkWords)
+	var cursor atomic.Int64
+	e.runWorkers(func(w *engineWorker) {
+		for {
+			end := int(cursor.Add(int64(chunk)))
+			beg := end - chunk
+			if beg >= words {
+				return
+			}
+			if end > words {
+				end = words
+			}
+			for i := beg; i < end; i++ {
+				for word := e.active[i]; word != 0; word &= word - 1 {
+					slot := i*64 + bits.TrailingZeros64(word)
 					u, v := e.slotPair(slot)
-					if d := e.updateSlot(st, u, v, slot); d > eps {
-						dirty = append(dirty, slot)
+					if d := e.updateSlot(&w.updateState, u, v, slot); d > eps {
+						w.dirty = append(w.dirty, slot)
 					}
 				}
 			}
-			e.dirtyPer[t] = dirty
-			absPer[t] = st.maxAbs
-			relPer[t] = st.maxRel
-			work[t] += st.work
-		}(t)
-	}
-	wg.Wait()
-	for t := 0; t < threads; t++ {
-		if absPer[t] > maxAbs {
-			maxAbs = absPer[t]
 		}
-		if relPer[t] > maxRel {
-			maxRel = relPer[t]
-		}
-	}
-	return maxAbs, maxRel
+	})
+	return e.reduce(work)
 }
 
 // markPair puts a candidate pair on the next worklist; non-candidates
@@ -368,12 +520,16 @@ func (e *engine) syncAndAdvance() {
 	for w, word := range e.active {
 		for ; word != 0; word &= word - 1 {
 			slot := w*64 + bits.TrailingZeros64(word)
-			e.cur[slot] = e.prev[slot]
+			if e.f32 {
+				e.cur32[slot] = e.prev32[slot]
+			} else {
+				e.cur[slot] = e.prev[slot]
+			}
 		}
 	}
 	dirtyTotal := 0
-	for _, dirty := range e.dirtyPer {
-		dirtyTotal += len(dirty)
+	for t := range e.workers {
+		dirtyTotal += len(e.workers[t].dirty)
 	}
 	if 4*dirtyTotal >= e.NumCandidates() {
 		// Most of the map changed: enumerating reverse adjacency would
@@ -385,8 +541,8 @@ func (e *engine) syncAndAdvance() {
 	} else {
 		mark := e.markPair
 		damping := e.opts.Damping
-		for _, dirty := range e.dirtyPer {
-			for _, slot := range dirty {
+		for t := range e.workers {
+			for _, slot := range e.workers[t].dirty {
 				x, y := e.slotPair(slot)
 				forEachDependent(e.g1, e.g2, x, y, e.opts.WPlus, e.opts.WMinus, mark)
 				if damping > 0 {
@@ -406,6 +562,9 @@ func (e *engine) syncAndAdvance() {
 func (e *engine) lookupFunc() func(x, y graph.NodeID) float64 {
 	if e.dense {
 		n2 := e.n2
+		if e.f32 {
+			return func(x, y graph.NodeID) float64 { return float64(e.prev32[int(x)*n2+int(y)]) }
+		}
 		return func(x, y graph.NodeID) float64 { return e.prev[int(x)*n2+int(y)] }
 	}
 	alpha := 0.0
@@ -414,7 +573,7 @@ func (e *engine) lookupFunc() func(x, y graph.NodeID) float64 {
 	}
 	return func(x, y graph.NodeID) float64 {
 		if i, ok := e.index[pairbits.MakeKey(x, y)]; ok {
-			return e.prev[i]
+			return e.prevScore(int(i))
 		}
 		if alpha > 0 {
 			if b, ok := e.prunedUB[pairbits.MakeKey(x, y)]; ok {

@@ -91,8 +91,21 @@ type Options struct {
 	// DenseCapPairs bounds the dense score store: when |V1|·|V2| exceeds
 	// it, the engine falls back to the hash-map candidate store of
 	// Algorithm 1 (slower lookups, memory proportional to |Hc|). 0 uses
-	// the default of 48M pairs (~0.8 GB for the two buffers).
+	// the default of 48M pairs (~0.8 GB for the two buffers). The product
+	// is evaluated in 64-bit arithmetic, so pair universes that overflow
+	// the platform int select the sparse store instead of mis-indexing.
 	DenseCapPairs int
+
+	// Float32Scores stores the score buffers as float32 instead of
+	// float64: half the memory footprint and memory bandwidth per
+	// iteration, at float32 precision (scores round to ~7 significant
+	// digits; convergence tests act on the rounded values). The default
+	// float64 path is unchanged and keeps its bit-exactness contract;
+	// float32 runs are themselves deterministic across thread counts, but
+	// their scores differ from float64 runs by rounding. Batch Compute
+	// only: the query index, dynamic maintainer and snapshot codec keep
+	// float64 state and reject this option.
+	Float32Scores bool
 
 	// PinDiagonal keeps FSim(u, u) = 1 across iterations (requires
 	// g1 == g2 shape); SimRank's fixed self-similarity uses this.

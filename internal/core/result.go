@@ -12,6 +12,9 @@ import (
 type Result struct {
 	cs     *CandidateSet
 	scores []float64 // dense: n1*n2 entries; sparse: aligned to cs.candPairs
+	// scores32 replaces scores when Options.Float32Scores is set (same
+	// layout, float32 precision); exactly one of the two is non-nil.
+	scores32 []float32
 
 	// Iterations is the number of update rounds executed.
 	Iterations int
@@ -34,7 +37,8 @@ type Result struct {
 	// upper-bound pruning.
 	PrunedCount int
 	// Work holds per-worker accumulated work units (Σ neighbor-product
-	// sizes); its spread measures the round-robin load balance.
+	// sizes); its spread measures how evenly the dynamic chunk queue
+	// distributed the candidate pairs across workers.
 	Work []int64
 	// Duration is the wall-clock computation time.
 	Duration time.Duration
@@ -56,12 +60,20 @@ func (r *Result) Candidates() *CandidateSet { return r.cs }
 // 0.
 func (r *Result) Score(u, v graph.NodeID) float64 {
 	if r.cs.dense {
-		return r.scores[int(u)*r.cs.n2+int(v)]
+		return r.at(int(u)*r.cs.n2 + int(v))
 	}
 	if i, ok := r.cs.index[pairbits.MakeKey(u, v)]; ok {
-		return r.scores[i]
+		return r.at(int(i))
 	}
 	return r.cs.StandIn(u, v)
+}
+
+// at reads one slot of whichever score buffer the computation used.
+func (r *Result) at(i int) float64 {
+	if r.scores32 != nil {
+		return float64(r.scores32[i])
+	}
+	return r.scores[i]
 }
 
 // Contains reports whether the pair (u, v) is maintained in the candidate
@@ -72,9 +84,9 @@ func (r *Result) Contains(u, v graph.NodeID) bool { return r.cs.Contains(u, v) }
 func (r *Result) scoreAt(pos int) float64 {
 	if r.cs.dense {
 		u, v := r.cs.candPairs[pos].Split()
-		return r.scores[int(u)*r.cs.n2+int(v)]
+		return r.at(int(u)*r.cs.n2 + int(v))
 	}
-	return r.scores[pos]
+	return r.at(pos)
 }
 
 // ForEach calls fn for every maintained pair in deterministic (u, v) order.
@@ -82,7 +94,7 @@ func (r *Result) ForEach(fn func(u, v graph.NodeID, score float64)) {
 	if r.cs.allPairs {
 		for u := 0; u < r.cs.n1; u++ {
 			for v := 0; v < r.cs.n2; v++ {
-				fn(graph.NodeID(u), graph.NodeID(v), r.scores[u*r.cs.n2+v])
+				fn(graph.NodeID(u), graph.NodeID(v), r.at(u*r.cs.n2+v))
 			}
 		}
 		return
@@ -99,7 +111,7 @@ func (r *Result) Row(u graph.NodeID) []stats.Ranked {
 	if r.cs.allPairs {
 		out := make([]stats.Ranked, r.cs.n2)
 		for v := 0; v < r.cs.n2; v++ {
-			out[v] = stats.Ranked{Index: v, Score: r.scores[int(u)*r.cs.n2+v]}
+			out[v] = stats.Ranked{Index: v, Score: r.at(int(u)*r.cs.n2 + v)}
 		}
 		return out
 	}
@@ -161,23 +173,31 @@ func (r *Result) SampleScores(pairs [][2]graph.NodeID) []float64 {
 	return out
 }
 
-// LoadBalance returns max(work)/mean(work) across workers — 1.0 is a
-// perfectly even shard (the paper's round-robin distribution claim,
-// Fig 9(a)). Returns 1 when a single worker ran.
+// LoadBalance returns max(work)/mean(work) across the workers that
+// performed any work — 1.0 is a perfectly even split (the paper's
+// work-distribution claim, Fig 9(a), realized here by a dynamic chunk
+// queue rather than a static round-robin shard). Workers with zero work
+// are excluded from the mean: under dynamic scheduling an idle worker
+// means the queue drained before the runtime ever ran its goroutine
+// (routine on hosts with fewer cores than Threads, or when the workload
+// fits in a handful of chunks), not that the engine assigned work
+// unevenly. Returns 1 when at most one worker participated.
 func (r *Result) LoadBalance() float64 {
-	if len(r.Work) <= 1 {
-		return 1
-	}
 	var sum, max int64
+	busy := 0
 	for _, w := range r.Work {
+		if w == 0 {
+			continue
+		}
+		busy++
 		sum += w
 		if w > max {
 			max = w
 		}
 	}
-	if sum == 0 {
+	if busy <= 1 {
 		return 1
 	}
-	mean := float64(sum) / float64(len(r.Work))
+	mean := float64(sum) / float64(busy)
 	return float64(max) / mean
 }

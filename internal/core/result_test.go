@@ -97,8 +97,13 @@ func TestCandidateCountConsistency(t *testing.T) {
 	}
 }
 
-// TestLoadBalanceEven verifies the round-robin shard balance the Fig 9(a)
-// reproduction reports: on a uniform workload the factor stays near 1.
+// TestLoadBalanceEven pins the Fig 9(a) diagnostics under the dynamic
+// chunk queue. Which worker drains how many chunks depends on the
+// runtime scheduler (on a single-core host one goroutine may drain the
+// whole queue), so the invariants are: total work is conserved at every
+// thread count (each chunk handed out exactly once), the balance factor
+// over participating workers is well defined, and a single thread is
+// exactly even.
 func TestLoadBalanceEven(t *testing.T) {
 	g := dataset.RandomGraph(104, 60, 150, 3)
 	opts := DefaultOptions(exact.S)
@@ -107,8 +112,8 @@ func TestLoadBalanceEven(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lb := res.LoadBalance(); lb < 1 || lb > 1.5 {
-		t.Fatalf("load balance %v outside [1, 1.5]", lb)
+	if lb := res.LoadBalance(); lb < 1 {
+		t.Fatalf("load balance %v below 1", lb)
 	}
 	single := DefaultOptions(exact.S)
 	single.Threads = 1
@@ -118,6 +123,19 @@ func TestLoadBalanceEven(t *testing.T) {
 	}
 	if lb := res1.LoadBalance(); lb != 1 {
 		t.Fatalf("single-thread balance should be 1, got %v", lb)
+	}
+	var total, total1 int64
+	for _, w := range res.Work {
+		total += w
+	}
+	for _, w := range res1.Work {
+		total1 += w
+	}
+	if total != total1 {
+		t.Fatalf("work not conserved across thread counts: 8 threads did %d units, 1 thread %d", total, total1)
+	}
+	if total == 0 {
+		t.Fatal("no work recorded")
 	}
 }
 

@@ -109,10 +109,10 @@ func NewCandidateSetFromData(g1, g2 *graph.Graph, opts Options, d CandidateData)
 
 	// The shape flags are functions of (graphs, options); recompute and
 	// compare instead of trusting the data.
-	cs.dense = cs.n1*cs.n2 <= opts.DenseCapPairs
+	cs.dense = densePairs(cs.n1, cs.n2, opts.DenseCapPairs)
 	if cs.dense != d.Dense {
-		return nil, fmt.Errorf("core: candidate data store shape (dense=%v) disagrees with |V1|·|V2|=%d vs DenseCapPairs=%d",
-			d.Dense, cs.n1*cs.n2, opts.DenseCapPairs)
+		return nil, fmt.Errorf("core: candidate data store shape (dense=%v) disagrees with |V1|·|V2|=%d·%d vs DenseCapPairs=%d",
+			d.Dense, cs.n1, cs.n2, opts.DenseCapPairs)
 	}
 	cs.allPairs = cs.dense && opts.Theta == 0 && opts.UpperBoundOpt == nil
 	if cs.allPairs != d.AllPairs {

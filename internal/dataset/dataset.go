@@ -119,6 +119,48 @@ func PaperSpec(name string, scale int) (Spec, error) {
 	return Spec{}, fmt.Errorf("dataset: unknown Table 4 dataset %q", name)
 }
 
+// PowerLaw returns a spec for a free-form synthetic power-law graph, the
+// scaling experiment's knob set: node count, edge count, label vocabulary
+// and a single exponent alpha applied to both degree sequences (≤ 0
+// selects the default 1.0). Maximum degrees are derived from the size —
+// roughly n^0.75 hubs, clamped so the degree sequences stay feasible —
+// matching the hub share the Table 4 stand-ins exhibit. Infeasible inputs
+// are clamped rather than rejected: nodes below 2 become 2, labels below
+// 1 become 1, and Generate already saturates an edge target the degree
+// caps cannot carry.
+func PowerLaw(nodes, edges, labels int, alpha float64, seed int64) Spec {
+	if nodes < 2 {
+		nodes = 2
+	}
+	if labels < 1 {
+		labels = 1
+	}
+	if edges < 0 {
+		edges = 0
+	}
+	if alpha <= 0 {
+		alpha = 1.0
+	}
+	maxDeg := int(math.Pow(float64(nodes), 0.75))
+	if minMax := edges/nodes + 2; maxDeg < minMax {
+		maxDeg = minMax
+	}
+	if maxDeg > nodes-1 {
+		maxDeg = nodes - 1
+	}
+	return Spec{
+		Name:   fmt.Sprintf("powerlaw-n%d-m%d", nodes, edges),
+		Nodes:  nodes,
+		Edges:  edges,
+		Labels: labels,
+		MaxOut: maxDeg,
+		MaxIn:  maxDeg,
+		OutExp: alpha,
+		InExp:  alpha,
+		Seed:   seed,
+	}
+}
+
 // MustPaperSpec is PaperSpec that panics on unknown names.
 func MustPaperSpec(name string, scale int) Spec {
 	s, err := PaperSpec(name, scale)

@@ -176,3 +176,41 @@ func TestLabelNamesDiverse(t *testing.T) {
 		names[name] = true
 	}
 }
+
+// TestPowerLaw checks the free-form generator: the spec hits the requested
+// statistics, generation is deterministic in the seed, and the realized
+// graph lands near the edge target (stub matching drops self-loops and
+// duplicates, so a small shortfall is expected).
+func TestPowerLaw(t *testing.T) {
+	spec := PowerLaw(2000, 12000, 50, 1.1, 7)
+	if spec.Nodes != 2000 || spec.Edges != 12000 || spec.Labels != 50 {
+		t.Fatalf("spec does not carry the requested sizes: %+v", spec)
+	}
+	if spec.OutExp != 1.1 || spec.InExp != 1.1 {
+		t.Fatalf("alpha not applied to both exponents: %+v", spec)
+	}
+	if spec.MaxOut < 12000/2000+2 || spec.MaxOut > 1999 {
+		t.Fatalf("derived max degree %d infeasible", spec.MaxOut)
+	}
+	g := spec.Generate()
+	if g.NumNodes() != 2000 {
+		t.Fatalf("generated %d nodes, want 2000", g.NumNodes())
+	}
+	if m := g.NumEdges(); m < 12000*85/100 || m > 12000 {
+		t.Fatalf("generated %d edges, want within 15%% of 12000", m)
+	}
+	if got := g.NumLabels(); got != 50 {
+		t.Fatalf("generated %d labels, want 50", got)
+	}
+	h := spec.Generate()
+	if h.NumEdges() != g.NumEdges() || h.NumNodes() != g.NumNodes() {
+		t.Fatal("generation is not deterministic in the seed")
+	}
+
+	// Degenerate inputs clamp instead of failing.
+	tiny := PowerLaw(0, -5, 0, 0, 1)
+	if tiny.Nodes < 2 || tiny.Labels < 1 || tiny.Edges != 0 || tiny.OutExp != 1.0 {
+		t.Fatalf("degenerate inputs not clamped: %+v", tiny)
+	}
+	tiny.Generate()
+}

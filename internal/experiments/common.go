@@ -71,6 +71,7 @@ func Registry() []struct {
 		{"dynamic", "incremental maintenance under update streams vs full recompute", Dynamic},
 		{"serve", "HTTP serving layer load test: cache+coalescing vs naive recompute", Serve},
 		{"snapshot", "binary snapshot warm start vs cold text-parse + Compute", Snapshot},
+		{"scale", "nodes × edges × threads sweep: dynamic chunk queue speedup and determinism", Scale},
 	}
 }
 

@@ -82,7 +82,9 @@ type serveReport struct {
 
 // Serve load-tests the HTTP serving layer in-process: concurrent client
 // goroutines issue /topk requests against a Zipf-skewed hot working set
-// (and a sprinkle of /query reads over hot pairs)
+// (and a sprinkle of /query reads over distinct hot pairs — v is
+// resampled until it differs from u, so degenerate self-pair queries
+// never pad the cache hit rate)
 // through Server.ServeHTTP while a writer posts update batches at
 // fixed points of the workload, and the cached serving stack (version-
 // stamped result cache + singleflight coalescing) is compared against the
@@ -295,7 +297,16 @@ func runServeLoad(srv *server.Server, clients, reads, hot int, batches [][]graph
 				}
 				target := fmt.Sprintf("/topk?u=%d&k=10", hotNodes[hotZipf.Uint64()])
 				if j%20 == 19 {
-					target = fmt.Sprintf("/query?u=%d&v=%d", hotNodes[hotZipf.Uint64()], hotNodes[hotZipf.Uint64()])
+					// Draw a distinct pair: two independent Zipf samples
+					// over the same hot set collide often (the head ranks
+					// dominate), and u==v self-pairs are degenerate
+					// queries that inflate the cache hit rate.
+					u := hotNodes[hotZipf.Uint64()]
+					v := u
+					for v == u && hot > 1 {
+						v = hotNodes[hotZipf.Uint64()]
+					}
+					target = fmt.Sprintf("/query?u=%d&v=%d", u, v)
 				}
 				r := httptest.NewRequest(http.MethodGet, target, nil)
 				w := httptest.NewRecorder()
