@@ -6,9 +6,9 @@
 //	fsimbench [-quick] [-threads N] [-seed S] [-jsondir DIR] <experiment|all> [more experiments...]
 //
 // Experiments: table2 table5 fig4 fig5 fig6 fig7 fig8 fig9 table6 table7
-// table8 table9 delta topk dynamic serve snapshot scale (see DESIGN.md §4
-// for the experiment index). Six experiments write machine-readable
-// artifacts into -jsondir: delta writes BENCH_delta.json
+// table8 table9 delta topk dynamic serve snapshot scale compress (see
+// DESIGN.md §4 for the experiment index). Seven experiments write
+// machine-readable artifacts into -jsondir: delta writes BENCH_delta.json
 // (iteration-by-iteration active-pair trajectories of worklist-driven
 // delta convergence), topk writes BENCH_topk.json (single-source top-k
 // query latency and speedup vs full computation across k and graph size),
@@ -18,9 +18,12 @@
 // result cache and request coalescing vs naive per-request recomputation,
 // under a mixed read/update workload), snapshot writes BENCH_snapshot.json
 // (binary snapshot save/load vs the cold text-parse + Compute restart
-// path) and scale writes BENCH_scale.json (nodes × edges × threads sweep
+// path), scale writes BENCH_scale.json (nodes × edges × threads sweep
 // of the dynamic chunk queue on ≥10⁵-edge power-law graphs: wall-clock,
-// speedup, load balance and a cross-thread determinism digest).
+// speedup, load balance and a cross-thread determinism digest) and
+// compress writes BENCH_compress.json (quotient compression across label
+// skew: structural-twin blocks, candidate-pair reduction, wall-clock, and
+// a bit-parity digest against the uncompressed engine).
 package main
 
 import (

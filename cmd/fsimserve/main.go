@@ -73,7 +73,14 @@ func main() {
 
 	var srv *fsim.Server
 	start := time.Now()
-	if mt := tryWarmStart(*snapshotPath); mt != nil {
+	// WarmStart implements the documented fallback contract: cold start
+	// only when the snapshot is absent; corruption and every other read
+	// failure are fatal, so an operator notices a damaged snapshot instead
+	// of paying a surprise recompute and losing the bad file to the next
+	// checkpoint.
+	mt, err := fsim.WarmStart(*snapshotPath)
+	fatal(err)
+	if mt != nil {
 		if flag.NArg() > 1 {
 			flag.Usage()
 			os.Exit(2)
@@ -83,6 +90,9 @@ func main() {
 			*snapshotPath, mt.Version(), mt.Graph().Stats(),
 			time.Since(start).Round(time.Millisecond), *addr)
 	} else {
+		if *snapshotPath != "" {
+			fmt.Fprintf(os.Stderr, "snapshot %s not present; cold start\n", *snapshotPath)
+		}
 		if flag.NArg() != 1 {
 			flag.Usage()
 			os.Exit(2)
@@ -117,36 +127,25 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		// Drain the serving layer first (new compute/update requests get
-		// 503, in-flight ones finish), then stop accepting connections.
+		// 503, in-flight ones finish), then stop accepting connections. A
+		// drain error — a failed final checkpoint in particular — must not
+		// vanish into a zero exit: the operator is the only one left to
+		// act on it (the /stats counters it also bumps are gone with the
+		// server), so finish the HTTP teardown and exit non-zero.
+		exitCode := 0
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "fsimserve: drain: %v\n", err)
+			exitCode = 1
 		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "fsimserve: shutdown: %v\n", err)
+			exitCode = 1
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
+		os.Exit(exitCode)
 	}
-}
-
-// tryWarmStart loads the snapshot when one exists. A missing file means
-// cold start (the first run of a checkpointing deployment); any other
-// failure — including corruption — is fatal rather than silently falling
-// back to a cold start, so an operator notices a damaged snapshot instead
-// of paying a surprise recompute and losing the bad file to the next
-// checkpoint.
-func tryWarmStart(path string) *fsim.Maintainer {
-	if path == "" {
-		return nil
-	}
-	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
-		fmt.Fprintf(os.Stderr, "snapshot %s not present; cold start\n", path)
-		return nil
-	}
-	mt, err := fsim.LoadSnapshot(path)
-	fatal(err)
-	return mt
 }
 
 func fatal(err error) {

@@ -100,6 +100,7 @@ import (
 	"fsim/internal/exact"
 	"fsim/internal/graph"
 	"fsim/internal/query"
+	"fsim/internal/quotient"
 	"fsim/internal/server"
 	"fsim/internal/snapshot"
 	"fsim/internal/stats"
@@ -165,6 +166,38 @@ func OperatorsFor(v Variant) Operators { return core.OperatorsFor(v) }
 // Compute runs the FSimχ framework over (g1, g2) and returns the
 // fractional χ-simulation scores of all maintained node pairs.
 func Compute(g1, g2 *Graph, opts Options) (*Result, error) { return core.Compute(g1, g2, opts) }
+
+// QuotientResult holds a quotient-compressed computation: score reads over
+// the full pair universe (bit-identical to Compute's), the partitions, and
+// compression diagnostics (representative pairs vs full candidate pairs).
+type QuotientResult = quotient.Result
+
+// QuotientPartition groups a graph's nodes into structural-twin blocks —
+// equal labels, identical literal out- and in-neighbor sets — with one
+// representative and a member list per block.
+type QuotientPartition = quotient.Partition
+
+// QuotientRefine computes the structural-twin partition of g. k bounds the
+// k-bisimulation hash prefilter depth (the partition itself is independent
+// of k); Partition.Summarize collapses g into its quotient graph.
+func QuotientRefine(g *Graph, k int) *QuotientPartition { return quotient.Refine(g, k) }
+
+// CompressedCompute is Compute through the quotient-compression front-end:
+// both graphs are partitioned into structural-twin blocks, the fixed point
+// iterates representative pairs only (one per block pair), and block-level
+// scores fan back out on read — Result-equivalent scores, bit-identical to
+// an uncompressed Compute under every variant, store and convergence mode,
+// at a candidate-universe cost compressed by the product of the two
+// graphs' block-size distributions. Set Options.Quotient on a query index
+// (NewIndex) to get the same collapse on the serving path. Options with
+// PinDiagonal or Init are rejected with ErrQuotientIncompatible: both can
+// hand twin nodes different scores, which breaks the block sharing.
+func CompressedCompute(g1, g2 *Graph, opts Options) (*QuotientResult, error) {
+	return quotient.Compute(g1, g2, opts)
+}
+
+// ErrQuotientIncompatible marks options the quotient front-end rejects.
+var ErrQuotientIncompatible = quotient.ErrIncompatible
 
 // Ranked is one (node, score) entry of a top-k ranking, in descending
 // score order with ties broken by ascending node id.
@@ -278,6 +311,12 @@ func NewServerFromMaintainer(mt *Maintainer, sopts ServerOptions) *Server {
 // ErrMaintainerClosed is returned by Maintainer.Apply after Close (for a
 // Server: after Shutdown has drained it).
 var ErrMaintainerClosed = dynamic.ErrClosed
+
+// WarmStart loads the Maintainer checkpointed at path with the serving
+// tier's cold-start contract: an empty path or an absent file returns
+// (nil, nil) — cold start — while any other failure, corruption included,
+// is an error (never a silent cold start over a damaged snapshot).
+func WarmStart(path string) (*Maintainer, error) { return server.WarmStart(path) }
 
 // SaveSnapshot atomically persists a Maintainer's complete state — the
 // CSR graph with labels, the candidate component with its §3.4 bounds,

@@ -265,6 +265,14 @@ func (cs *CandidateSet) Graphs() (*graph.Graph, *graph.Graph) { return cs.g1, cs
 // Options returns the normalized options the set was built with.
 func (cs *CandidateSet) Options() Options { return cs.opts }
 
+// DenseStore reports whether the engine would keep this set's scores in
+// the dense n1×n2 buffer (as opposed to the sparse candidate-indexed
+// store). The two stores differ in observable conventions — the dense
+// store bakes §3.4 stand-ins into the buffer (rounding them through
+// float32 under Float32Scores) while the sparse store recomputes them on
+// read — so mirrors of the engine (internal/quotient) need the decision.
+func (cs *CandidateSet) DenseStore() bool { return cs.dense }
+
 // NumCandidates is |Hc|, the number of maintained pairs.
 func (cs *CandidateSet) NumCandidates() int {
 	if cs.allPairs {

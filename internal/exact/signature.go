@@ -18,7 +18,7 @@ type Color int32
 // Theorem 4. The returned colors canonicalize signatures: u and v are
 // k-bisimilar iff colors[u] == colors[v].
 func KBisimulation(g *graph.Graph, k int) []Color {
-	return refine(g, k, false)
+	return RefineSignatures(g, k, false).Colors
 }
 
 // KBisimilar reports whether u and v are k-bisimilar.
@@ -29,17 +29,51 @@ func KBisimilar(g *graph.Graph, k int, u, v graph.NodeID) bool {
 
 // KBisimulationBoth is the two-sided extension using both N+ and N−; it is
 // the signature analogue of the paper's in+out data model and is used by
-// the alignment baselines.
+// the alignment baselines and the quotient-compression front-end.
 func KBisimulationBoth(g *graph.Graph, k int) []Color {
-	return refine(g, k, true)
+	return RefineSignatures(g, k, true).Colors
 }
 
-// refine performs k rounds of signature refinement with canonical ids.
-func refine(g *graph.Graph, k int, both bool) []Color {
+// RefineResult carries the outcome of one bounded signature refinement.
+type RefineResult struct {
+	// Colors canonicalize the final signatures: u and v are equivalent iff
+	// Colors[u] == Colors[v].
+	Colors []Color
+	// Rounds is the number of refinement rounds actually executed. It can
+	// be smaller than the requested k: refinement only ever splits blocks,
+	// so a round that produces no split proves the partition is the
+	// fixpoint and the remaining rounds are skipped (they would reproduce
+	// the same canonical ids — ids are assigned by first encounter in node
+	// order, a function of the partition alone).
+	Rounds int
+	// Converged reports whether the partition provably reached its
+	// fixpoint within the budget: either a round produced no split, or
+	// the partition became discrete (every node its own block — nothing
+	// left to split). When false, colors describe exactly k rounds of
+	// refinement but the k+1-round partition could still be finer; callers
+	// that need a stable partition (Theorem 5 equivalence checks, the
+	// quotient front-end's diagnostics) must consult this flag rather than
+	// assume a generous k sufficed.
+	Converged bool
+}
+
+// RefineSignatures performs up to k rounds of signature refinement with
+// canonical ids and reports whether the partition reached its fixpoint.
+// k ≤ 0 performs no rounds and returns the label partition (the defined
+// sig₀), with Converged set only in the trivially stable discrete case.
+func RefineSignatures(g *graph.Graph, k int, both bool) RefineResult {
 	n := g.NumNodes()
 	colors := make([]Color, n)
 	for u := 0; u < n; u++ {
 		colors[u] = Color(g.Label(graph.NodeID(u)))
+	}
+	res := RefineResult{Colors: colors}
+	distinct := countDistinct(colors)
+	if distinct == n {
+		// Discrete from the start (every label unique): provably stable
+		// without running a confirming round.
+		res.Converged = true
+		return res
 	}
 	buf := make([]byte, 0, 256)
 	neigh := make([]int32, 0, 64)
@@ -73,8 +107,18 @@ func refine(g *graph.Graph, k int, both bool) []Color {
 			next[u] = id
 		}
 		colors = next
+		res.Colors = colors
+		res.Rounds = round + 1
+		d := countDistinct(colors)
+		if d == distinct || d == n {
+			// No split (fixpoint confirmed) or discrete (no further split
+			// possible): later rounds are idempotent, stop early.
+			res.Converged = true
+			break
+		}
+		distinct = d
 	}
-	return colors
+	return res
 }
 
 // canonicalize sorts and deduplicates the neighbor colors. Deduplication

@@ -29,10 +29,16 @@ func (r *WLResult) Same(u, v graph.NodeID) bool {
 // two graphs, using the undirected neighborhood (N+ ∪ N− as a multiset) of
 // each node, matching the paper's §4.3 adaptation. Refinement stops when
 // the color partition over the disjoint union is stable or after maxIter
-// rounds (the classical test converges in at most |V| rounds; pass
-// n1+n2 to guarantee convergence).
+// rounds. maxIter <= 0 requests the guaranteed-convergence budget: the
+// classical test refines a |V|-element partition at most |V|−1 times, so
+// n1+n2 rounds always reach the fixpoint (callers previously had to pass
+// that bound themselves, and a non-positive budget would skip refinement
+// entirely yet report Converged=false on the raw label partition).
 func WL(g1, g2 *graph.Graph, maxIter int) *WLResult {
 	n1, n2 := g1.NumNodes(), g2.NumNodes()
+	if maxIter <= 0 {
+		maxIter = n1 + n2
+	}
 	colors := make([]Color, n1+n2)
 	// Initial colors: shared label-name vocabulary.
 	vocab := map[string]Color{}
@@ -63,6 +69,15 @@ func WL(g1, g2 *graph.Graph, maxIter int) *WLResult {
 
 	distinct := countDistinct(colors)
 	res := &WLResult{}
+	if distinct == n1+n2 {
+		// Discrete initial coloring (every node its own color, including
+		// the empty disjoint union): refinement cannot split further, so
+		// the partition is stable without spending a confirming round.
+		res.Converged = true
+		res.Colors1 = colors[:n1]
+		res.Colors2 = colors[n1:]
+		return res
+	}
 	buf := make([]byte, 0, 256)
 	neigh := make([]int32, 0, 64)
 	for round := 0; round < maxIter; round++ {
@@ -92,12 +107,15 @@ func WL(g1, g2 *graph.Graph, maxIter int) *WLResult {
 		}
 		colors = next
 		res.Rounds = round + 1
-		if d := countDistinct(colors); d == distinct {
+		d := countDistinct(colors)
+		if d == distinct || d == n1+n2 {
+			// Stable (no split this round) or discrete (nothing left to
+			// split): either way the partition provably cannot refine
+			// further, so no confirming round is needed.
 			res.Converged = true
 			break
-		} else {
-			distinct = d
 		}
+		distinct = d
 	}
 	res.Colors1 = colors[:n1]
 	res.Colors2 = colors[n1:]

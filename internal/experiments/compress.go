@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+	"fsim/internal/quotient"
+)
+
+// compressRun is one label-skew cell of the quotient-compression sweep.
+type compressRun struct {
+	// LabelExp is the generator's Zipf label-skew exponent: higher skew
+	// concentrates nodes on few labels, which grows the structural-twin
+	// blocks (twins must share a label) and with them the compression.
+	LabelExp float64 `json:"label_exp"`
+	Nodes    int     `json:"nodes"`
+	Edges    int     `json:"edges"`
+	Labels   int     `json:"labels"`
+	// Blocks is the structural-twin partition size; NodeCompression is
+	// Nodes/Blocks.
+	Blocks          int     `json:"blocks"`
+	KBisimClasses   int     `json:"k_bisim_classes"`
+	NodeCompression float64 `json:"node_compression"`
+	// Candidates is the full |Hc|; RepPairs the representative pairs the
+	// compressed fixed point iterated; PairCompression their ratio — the
+	// per-iteration work reduction.
+	Candidates      int     `json:"candidates"`
+	RepPairs        int     `json:"rep_pairs"`
+	PairCompression float64 `json:"pair_compression"`
+	// FullSeconds and CompressedSeconds are end-to-end wall-clocks
+	// (candidate build + iteration; the compressed side also pays the
+	// partition refinement), measured on this host.
+	FullSeconds       float64 `json:"full_seconds"`
+	CompressedSeconds float64 `json:"compressed_seconds"`
+	Speedup           float64 `json:"speedup"`
+	// Digest hashes every candidate pair's raw score bits in deterministic
+	// order; Identical (digest equality) is the bit-parity acceptance bar.
+	FullDigest       string `json:"full_digest"`
+	CompressedDigest string `json:"compressed_digest"`
+	Identical        bool   `json:"identical"`
+}
+
+// compressReport is the BENCH_compress.json document.
+type compressReport struct {
+	Generator string  `json:"generator"`
+	Variant   string  `json:"variant"`
+	Theta     float64 `json:"theta"`
+	MaxIters  int     `json:"max_iters"`
+	// NumCPU qualifies the wall-clock columns (single-CPU container: both
+	// sides time-slice one core, so the ratio reflects work, not
+	// parallelism).
+	NumCPU     int           `json:"num_cpu"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Runs       []compressRun `json:"runs"`
+}
+
+// quotientDigest hashes a compressed result's fanned-out scores in the
+// same pair order as scaleDigest hashes a core.Result's, so the two are
+// directly comparable.
+func quotientDigest(res *quotient.Result) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	res.ForEach(func(u, v graph.NodeID, s float64) {
+		bits := math.Float64bits(s)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	})
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Compress sweeps the quotient-compression front-end across label skew on
+// power-law graphs under the serving configuration (FSim_bj, θ = 0.6, §3.4
+// pruning, pinned iterations): per skew it reports the structural-twin
+// partition (blocks, node compression), the candidate-set reduction
+// (representative pairs vs full |Hc|), end-to-end wall-clock for the
+// compressed vs the uncompressed fixed point, and an FNV-1a digest over
+// the raw score bits of every candidate pair — digest inequality is an
+// error, because bit-parity with the uncompressed engine is the front-end's
+// entire contract. Writes BENCH_compress.json (in Config.JSONDir, default
+// the working directory).
+//
+// Honest-reporting note: this reproduction's container exposes a single
+// CPU; both sides run single-threaded, so the speedup column measures
+// work reduction, not parallelism. Power-law graphs grow twins mostly in
+// their degree-0/degree-1 periphery, so pair compression here is the
+// realistic modest kind — the blow-up graphs of the property tests show
+// the geometric best case instead.
+func Compress(cfg Config) error {
+	variant := exact.BJ
+	base := core.DefaultOptions(variant)
+	base.Threads = 1 // the compressed engine is sequential; compare like with like
+	base.Epsilon = 1e-300
+	base.RelativeEps = false
+	base.MaxIters = 8
+	base.Theta = 0.6
+	base.UpperBoundOpt = &core.UpperBound{Alpha: 0.3, Beta: 0.5}
+
+	nodes, edges, labels := 4_000, 12_000, 200
+	skews := []float64{0.4, 0.8, 1.2, 1.6, 2.0}
+	if cfg.Quick {
+		nodes, edges, labels = 800, 2_400, 60
+		skews = []float64{0.8, 1.6}
+	}
+
+	report := compressReport{
+		Generator:  "dataset.PowerLaw (seeded synthetic, alpha=1.1, LabelExp swept)",
+		Variant:    variant.String(),
+		Theta:      base.Theta,
+		MaxIters:   base.MaxIters,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(cfg.out(), "host: %d CPU(s), GOMAXPROCS=%d\n", report.NumCPU, report.GOMAXPROCS)
+	tab := &table{headers: []string{"label-exp", "blocks", "node-compr", "rep-pairs", "pair-compr", "full", "compressed", "speedup", "identical"}}
+
+	for _, skew := range skews {
+		spec := dataset.PowerLaw(nodes, edges, labels, 1.1, 42+cfg.Seed)
+		spec.LabelExp = skew
+		g := spec.Generate()
+
+		fullStart := time.Now()
+		full, err := core.Compute(g, g, base)
+		if err != nil {
+			return err
+		}
+		fullWall := time.Since(fullStart)
+
+		compStart := time.Now()
+		comp, err := quotient.Compute(g, g, base)
+		if err != nil {
+			return err
+		}
+		compWall := time.Since(compStart)
+
+		p, _ := comp.Partitions()
+		run := compressRun{
+			LabelExp:          skew,
+			Nodes:             g.NumNodes(),
+			Edges:             g.NumEdges(),
+			Labels:            labels,
+			Blocks:            p.NumBlocks(),
+			KBisimClasses:     p.KBisimClasses,
+			NodeCompression:   float64(g.NumNodes()) / float64(p.NumBlocks()),
+			Candidates:        comp.CandidateCount,
+			RepPairs:          comp.RepPairCount,
+			PairCompression:   float64(comp.CandidateCount) / float64(comp.RepPairCount),
+			FullSeconds:       fullWall.Seconds(),
+			CompressedSeconds: compWall.Seconds(),
+			Speedup:           fullWall.Seconds() / compWall.Seconds(),
+			FullDigest:        scaleDigest(full),
+			CompressedDigest:  quotientDigest(comp),
+		}
+		run.Identical = run.FullDigest == run.CompressedDigest
+		if full.Iterations != comp.Iterations || full.Converged != comp.Converged {
+			return fmt.Errorf("compress: skew %.1f: trajectory diverges (full %d/%v, compressed %d/%v)",
+				skew, full.Iterations, full.Converged, comp.Iterations, comp.Converged)
+		}
+		if !run.Identical {
+			return fmt.Errorf("compress: skew %.1f: score digests diverge (full %s, compressed %s)",
+				skew, run.FullDigest, run.CompressedDigest)
+		}
+		report.Runs = append(report.Runs, run)
+		tab.add(fmt.Sprintf("%.1f", skew), fmt.Sprint(run.Blocks), f2(run.NodeCompression),
+			fmt.Sprint(run.RepPairs), f2(run.PairCompression),
+			dur(fullWall), dur(compWall), f2(run.Speedup), fmt.Sprint(run.Identical))
+	}
+	tab.write(cfg.out())
+
+	dir := cfg.JSONDir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_compress.json")
+	data, err := json.MarshalIndent(report, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out(), "\nwrote %s\n", path)
+	return nil
+}

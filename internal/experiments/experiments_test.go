@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the evaluation section must be present,
 	// plus the repo's own delta-convergence and top-k query benchmarks.
 	want := []string{"table2", "table5", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta", "topk", "dynamic", "serve", "snapshot", "scale"}
+		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta", "topk", "dynamic", "serve", "snapshot", "scale", "compress"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -401,6 +401,57 @@ func TestServeExperiment(t *testing.T) {
 		}
 	}
 	if !strings.Contains(buf.String(), "BENCH_serve.json") {
+		t.Fatal("experiment did not report the artifact path")
+	}
+}
+
+// TestCompressExperiment runs the quotient-compression sweep at smoke size
+// and validates the BENCH_compress.json artifact: every skew cell must
+// compress the candidate set (rep_pairs < candidates) and carry equal
+// full/compressed digests — the experiment itself errors on divergence,
+// so the identical flags here double as a format check.
+func TestCompressExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.JSONDir = t.TempDir()
+	if err := Compress(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_compress.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Runs []struct {
+			LabelExp         float64 `json:"label_exp"`
+			Blocks           int     `json:"blocks"`
+			Nodes            int     `json:"nodes"`
+			Candidates       int     `json:"candidates"`
+			RepPairs         int     `json:"rep_pairs"`
+			FullDigest       string  `json:"full_digest"`
+			CompressedDigest string  `json:"compressed_digest"`
+			Identical        bool    `json:"identical"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Runs) < 2 {
+		t.Fatalf("report has %d runs, want a label-skew sweep", len(report.Runs))
+	}
+	for _, run := range report.Runs {
+		if run.Blocks <= 0 || run.Blocks > run.Nodes {
+			t.Errorf("skew %.1f: implausible block count %d of %d nodes", run.LabelExp, run.Blocks, run.Nodes)
+		}
+		if run.RepPairs <= 0 || run.RepPairs >= run.Candidates {
+			t.Errorf("skew %.1f: representative pairs %d should strictly compress %d candidates",
+				run.LabelExp, run.RepPairs, run.Candidates)
+		}
+		if !run.Identical || run.FullDigest != run.CompressedDigest {
+			t.Errorf("skew %.1f: digests diverge (%s vs %s)", run.LabelExp, run.FullDigest, run.CompressedDigest)
+		}
+	}
+	if !strings.Contains(buf.String(), "BENCH_compress.json") {
 		t.Fatal("experiment did not report the artifact path")
 	}
 }

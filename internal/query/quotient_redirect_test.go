@@ -1,0 +1,191 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fsim/internal/core"
+	"fsim/internal/graph"
+)
+
+// twinQueryGraph blows up a seeded random base graph into one with
+// guaranteed structural-twin blocks (each base node becomes a block of
+// same-labelled members, each base edge the complete bipartite connection
+// between blocks) — the same construction the quotient package's property
+// uses. With split set, one extra literal edge is added between single
+// members of two blocks, touching a block of size ≥ 2 on at least one end:
+// that member's literal adjacency now differs from its ex-twins', so the
+// post-Apply partition must differ from the build-time one. The returned
+// pair is the extra edge's endpoints (nil unless split found one — the
+// blow-up leaves plenty of absent block pairs, so it always does here).
+func twinQueryGraph(seed int64, split bool) (*graph.Graph, []graph.NodeID) {
+	const n, m, labels, extra = 8, 18, 3, 7
+	rng := rand.New(rand.NewSource(seed))
+	edges := make(map[[2]int]struct{})
+	for i := 0; i < m; i++ {
+		edges[[2]int{rng.Intn(n), rng.Intn(n)}] = struct{}{}
+	}
+	size := make([]int, n)
+	for i := range size {
+		size[i] = 1
+	}
+	for e := 0; e < extra; e++ {
+		size[rng.Intn(n)]++
+	}
+	b := graph.NewBuilder()
+	members := make([][]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		lbl := fmt.Sprintf("L%d", rng.Intn(labels))
+		for j := 0; j < size[i]; j++ {
+			members[i] = append(members[i], b.AddNode(lbl))
+		}
+	}
+	for e := range edges {
+		for _, a := range members[e[0]] {
+			for _, c := range members[e[1]] {
+				b.MustAddEdge(a, c)
+			}
+		}
+	}
+	var touched []graph.NodeID
+	if split {
+	scan:
+		for i := 0; i < n; i++ {
+			if size[i] < 2 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if _, ok := edges[[2]int{i, j}]; !ok {
+					b.MustAddEdge(members[i][0], members[j][0])
+					touched = []graph.NodeID{members[i][0], members[j][0]}
+					break scan
+				}
+				if _, ok := edges[[2]int{j, i}]; !ok {
+					b.MustAddEdge(members[j][0], members[i][0])
+					touched = []graph.NodeID{members[j][0], members[i][0]}
+					break scan
+				}
+			}
+		}
+	}
+	return b.Build(), touched
+}
+
+// requireIdentical asserts the quotient-redirected index answers every
+// query and top-k bit-identically to the plain index over the whole node
+// universe — the serving-tier half of the quotient equivalence contract.
+func requireIdentical(t *testing.T, seed int64, stage string, plain, quot *Index, n int) {
+	t.Helper()
+	for u := 0; u < n; u++ {
+		un := graph.NodeID(u)
+		for v := 0; v < n; v++ {
+			vn := graph.NodeID(v)
+			want, err := plain.Query(un, vn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := quot.Query(un, vn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("seed %d %s: Query(%d,%d) = %v via quotient, %v plain",
+					seed, stage, u, v, got, want)
+			}
+		}
+		for _, k := range []int{1, 3, n + 2} {
+			want, err := plain.TopK(un, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := quot.TopK(un, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d %s: TopK(%d,%d) has %d entries via quotient, %d plain",
+					seed, stage, u, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Index != want[i].Index ||
+					math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+					t.Fatalf("seed %d %s: TopK(%d,%d)[%d] = (%d, %v) via quotient, (%d, %v) plain",
+						seed, stage, u, k, i, got[i].Index, got[i].Score, want[i].Index, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+// TestQuotientRedirectEquivalence pins the opt-in serving path: an index
+// built with Options.Quotient answers every Query and TopK bit-identically
+// to a plain index over the same graphs — across the four variants, both
+// stores and the pruning shapes propertyOptions cycles through — while
+// actually collapsing twin rows (distinct representatives < nodes). An
+// Apply that splits a twin block must leave the equivalence intact, which
+// forces the redirect tables to be recomputed from the patched graph.
+func TestQuotientRedirectEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g, _ := twinQueryGraph(seed, false)
+		opts, variant := propertyOptions(seed)
+		opts.Epsilon = 1e-300 // pinned budget: localized and batch runs agree exactly
+		opts.RelativeEps = false
+		opts.MaxIters = 16
+
+		plain, err := New(g, g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qopts := opts
+		qopts.Quotient = true
+		quot, err := New(g, g, qopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if quot.rep1 == nil || plain.rep1 != nil {
+			t.Fatalf("seed %d %v: redirect tables built on the wrong index", seed, variant)
+		}
+		reps := make(map[graph.NodeID]bool)
+		for _, r := range quot.rep1 {
+			reps[r] = true
+		}
+		if len(reps) >= g.NumNodes() {
+			t.Fatalf("seed %d %v: twin blow-up produced no compression (%d reps / %d nodes)",
+				seed, variant, len(reps), g.NumNodes())
+		}
+		requireIdentical(t, seed, "build", plain, quot, g.NumNodes())
+
+		// Split a twin block with one extra edge and patch both indices: the
+		// quotient index must re-partition, not serve the stale redirect.
+		gs, touched := twinQueryGraph(seed, true)
+		if len(touched) == 0 {
+			t.Fatalf("seed %d: split generator found no absent block pair", seed)
+		}
+		if _, err := plain.Apply(gs, gs, touched, touched); err != nil {
+			t.Fatalf("seed %d: plain Apply: %v", seed, err)
+		}
+		if _, err := quot.Apply(gs, gs, touched, touched); err != nil {
+			t.Fatalf("seed %d: quotient Apply: %v", seed, err)
+		}
+		requireIdentical(t, seed, "after split", plain, quot, gs.NumNodes())
+	}
+}
+
+// TestQuotientRejectsIncompatibleQueryOptions mirrors the batch front-end:
+// the redirect is unsound when twins can start from different scores.
+func TestQuotientRejectsIncompatibleQueryOptions(t *testing.T) {
+	g, _ := twinQueryGraph(1, false)
+	opts := core.DefaultOptions(0)
+	opts.Quotient = true
+	opts.PinDiagonal = true
+	if _, err := New(g, g, opts); err == nil {
+		t.Fatal("Quotient + PinDiagonal must be rejected")
+	}
+	opts.PinDiagonal = false
+	opts.Init = func(_, _ *graph.Graph, _, _ graph.NodeID, _ float64) float64 { return 0.5 }
+	if _, err := New(g, g, opts); err == nil {
+		t.Fatal("Quotient + Init must be rejected")
+	}
+}

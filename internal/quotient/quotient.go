@@ -1,0 +1,426 @@
+package quotient
+
+import (
+	"errors"
+	"time"
+
+	"fsim/internal/core"
+	"fsim/internal/graph"
+	"fsim/internal/pairbits"
+)
+
+// DefaultRefineRounds is the k-bisimulation prefilter depth used by Compute.
+// The twin partition is independent of the depth (see Refine); two rounds
+// keep the hash buckets small at negligible cost.
+const DefaultRefineRounds = 2
+
+// ErrIncompatible reports an Options configuration the quotient front-end
+// cannot compress without changing scores: PinDiagonal pins (u, u) = 1 but
+// not (u, u′) for a twin u′, and a custom Init hook may seed arbitrary
+// per-pair values — both break the block-constancy the fan-out relies on.
+var ErrIncompatible = errors.New("quotient: Options.PinDiagonal and Options.Init are incompatible with quotient compression")
+
+// Result holds the scores of a quotient-compressed computation. Score and
+// ForEach expose them over the ORIGINAL pair universe with exactly the
+// conventions of core.Result — every pair resolves through its block
+// representatives to the compressed buffer, bit-identical to the
+// uncompressed computation.
+type Result struct {
+	cs     *core.CandidateSet
+	p1, p2 *Partition
+
+	f32   bool
+	dense bool
+
+	scores   []float64
+	scores32 []float32
+	repPairs []pairbits.Key
+	slotOf   map[pairbits.Key]int32
+
+	// Iterations, Converged and Deltas mirror core.Result exactly: the
+	// per-iteration maximum score change over representative pairs equals
+	// the full computation's maximum over all candidate pairs, because
+	// every twin pair traces a bit-identical trajectory.
+	Iterations int
+	Converged  bool
+	Deltas     []float64
+	// ActivePairs (DeltaMode only) is the worklist trajectory expanded to
+	// full-universe pair counts (each representative slot counts for
+	// |block1|·|block2| pairs), comparable to core.Result.ActivePairs.
+	ActivePairs []int
+	Duration    time.Duration
+
+	// CandidateCount is the full (uncompressed) |Hc|; RepPairCount is the
+	// number of representative pairs the fixed point actually iterated.
+	CandidateCount int
+	RepPairCount   int
+	PrunedCount    int
+}
+
+// Partitions returns the two structural-twin partitions.
+func (r *Result) Partitions() (*Partition, *Partition) { return r.p1, r.p2 }
+
+// Candidates returns the underlying (full) candidate component.
+func (r *Result) Candidates() *core.CandidateSet { return r.cs }
+
+// Score returns FSim(u, v), resolving (u, v) through its block
+// representatives. The store conventions mirror core.Result.Score: the
+// dense store answers for every pair (non-candidates read their baked
+// stand-in, rounded through float32 under Float32Scores); the sparse store
+// recomputes the §3.4 stand-in unrounded.
+func (r *Result) Score(u, v graph.NodeID) float64 {
+	k := pairbits.MakeKey(r.p1.Rep[r.p1.BlockOf[u]], r.p2.Rep[r.p2.BlockOf[v]])
+	if slot, ok := r.slotOf[k]; ok {
+		return r.at(int(slot))
+	}
+	s := r.cs.StandIn(u, v)
+	if r.dense && r.f32 {
+		s = float64(float32(s))
+	}
+	return s
+}
+
+func (r *Result) at(slot int) float64 {
+	if r.f32 {
+		return float64(r.scores32[slot])
+	}
+	return r.scores[slot]
+}
+
+// ForEach visits every maintained pair in the same (u, v)-ascending order
+// as core.Result.ForEach (the full pair universe when θ = 0 disables
+// pruning on the dense store).
+func (r *Result) ForEach(fn func(u, v graph.NodeID, s float64)) {
+	g1, _ := r.cs.Graphs()
+	for u := 0; u < g1.NumNodes(); u++ {
+		uid := graph.NodeID(u)
+		r.cs.ForEachCandidate(uid, func(v graph.NodeID) {
+			fn(uid, v, r.Score(uid, v))
+		})
+	}
+}
+
+// Compute runs the FSimχ fixed point through the quotient front-end:
+// structural-twin partitions of both graphs, one fixed point over
+// representative candidate pairs, block-level fan-out. Scores are
+// bit-identical to core.Compute(g1, g2, opts) for every pair, variant,
+// score store and convergence strategy; the work per iteration drops from
+// |Hc| to the representative pair count. Options.Threads is ignored — the
+// compressed pair set is iterated sequentially.
+func Compute(g1, g2 *graph.Graph, opts core.Options) (*Result, error) {
+	start := time.Now()
+	if opts.PinDiagonal || opts.Init != nil {
+		return nil, ErrIncompatible
+	}
+	opts.Quotient = true
+	cs, err := core.NewCandidateSet(g1, g2, opts)
+	if err != nil {
+		return nil, err
+	}
+	p1 := Refine(g1, DefaultRefineRounds)
+	p2 := p1
+	if g2 != g1 {
+		p2 = Refine(g2, DefaultRefineRounds)
+	}
+	return computeOn(cs, p1, p2, start)
+}
+
+// ComputeOn runs the quotient-compressed fixed point over a prebuilt
+// candidate component and twin partitions (p1/p2 must come from Refine on
+// the component's graphs).
+func ComputeOn(cs *core.CandidateSet, p1, p2 *Partition) (*Result, error) {
+	return computeOn(cs, p1, p2, time.Now())
+}
+
+// qengine is the sequential mirror of internal/core's iteration engine
+// over representative slots. Every per-slot formula (damping mix, float32
+// store-and-reload, absolute/relative extrema, the delta worklist's
+// stability test and mark-all threshold) reproduces engine.updateSlot /
+// computeOn / syncAndAdvance exactly — the bit-parity contract the 50-seed
+// equivalence property pins.
+type qengine struct {
+	cs     *core.CandidateSet
+	p1, p2 *Partition
+	opts   core.Options
+
+	f32   bool
+	dense bool
+
+	repPairs []pairbits.Key
+	// blk1/blk2 cache each slot's block indices; weight is the slot's
+	// expanded pair count |block1|·|block2| — the full-universe pairs the
+	// slot stands for, used to keep the delta strategy's mark-all
+	// threshold and ActivePairs trajectory identical to the full engine.
+	blk1, blk2 []int32
+	weight     []int64
+	slotOf     map[pairbits.Key]int32
+
+	prev, cur     []float64
+	prev32, cur32 []float32
+
+	scratch *core.EvalScratch
+	lookup  func(x, y graph.NodeID) float64
+
+	maxAbs, maxRel float64
+
+	active, nextActive pairbits.Bitset
+	dirty              []int
+}
+
+func computeOn(cs *core.CandidateSet, p1, p2 *Partition, start time.Time) (*Result, error) {
+	opts := cs.Options()
+	if opts.PinDiagonal || opts.Init != nil {
+		return nil, ErrIncompatible
+	}
+	e := &qengine{
+		cs: cs, p1: p1, p2: p2, opts: opts,
+		f32:   opts.Float32Scores,
+		dense: cs.DenseStore(),
+	}
+	e.enumerate()
+	e.initBuffers()
+	e.scratch = core.NewEvalScratch()
+	e.lookup = e.lookupFunc()
+
+	res := &Result{
+		cs: cs, p1: p1, p2: p2, f32: e.f32, dense: e.dense,
+		repPairs: e.repPairs, slotOf: e.slotOf,
+		CandidateCount: cs.NumCandidates(),
+		RepPairCount:   len(e.repPairs),
+		PrunedCount:    cs.PrunedCount(),
+	}
+
+	if opts.DeltaMode {
+		e.initWorklist()
+	}
+	for it := 1; it <= opts.MaxIters; it++ {
+		e.maxAbs, e.maxRel = 0, 0
+		if opts.DeltaMode {
+			res.ActivePairs = append(res.ActivePairs, e.expandedActive())
+			e.iterateDelta()
+		} else {
+			e.iterate()
+		}
+		res.Iterations = it
+		res.Deltas = append(res.Deltas, e.maxAbs)
+		e.prev, e.cur = e.cur, e.prev
+		e.prev32, e.cur32 = e.cur32, e.prev32
+		var done bool
+		if opts.RelativeEps {
+			done = e.maxRel < opts.Epsilon
+		} else {
+			done = e.maxAbs < opts.Epsilon
+		}
+		if done {
+			res.Converged = true
+			break
+		}
+		if opts.DeltaMode {
+			e.syncAndAdvance()
+		}
+	}
+	res.scores = e.prev
+	res.scores32 = e.prev32
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// enumerate lists the representative candidate pairs in (u, v)-ascending
+// order. Candidacy is block-uniform — twins share label similarity and
+// bit-equal Eq. 6 bounds — so filtering each representative row to
+// representative columns covers exactly the candidate block pairs.
+func (e *qengine) enumerate() {
+	e.slotOf = make(map[pairbits.Key]int32)
+	for b1 := 0; b1 < e.p1.NumBlocks(); b1++ {
+		u := e.p1.Rep[b1]
+		e.cs.ForEachCandidate(u, func(v graph.NodeID) {
+			b2 := e.p2.BlockOf[v]
+			if e.p2.Rep[b2] != v {
+				return
+			}
+			k := pairbits.MakeKey(u, v)
+			e.slotOf[k] = int32(len(e.repPairs))
+			e.repPairs = append(e.repPairs, k)
+			e.blk1 = append(e.blk1, int32(b1))
+			e.blk2 = append(e.blk2, b2)
+			e.weight = append(e.weight, int64(len(e.p1.Members[b1]))*int64(len(e.p2.Members[b2])))
+		})
+	}
+}
+
+// initBuffers allocates the slot-aligned score buffers and seeds prev with
+// FSim⁰ (the label similarity — Init hooks are rejected, so the seed is
+// block-constant by construction).
+func (e *qengine) initBuffers() {
+	slots := len(e.repPairs)
+	if e.f32 {
+		e.prev32 = make([]float32, slots)
+		e.cur32 = make([]float32, slots)
+	} else {
+		e.prev = make([]float64, slots)
+		e.cur = make([]float64, slots)
+	}
+	for slot, k := range e.repPairs {
+		u, v := k.Split()
+		s := e.cs.InitScore(u, v)
+		if e.f32 {
+			e.prev32[slot] = float32(s)
+		} else {
+			e.prev[slot] = s
+		}
+	}
+}
+
+func (e *qengine) prevScore(slot int) float64 {
+	if e.f32 {
+		return float64(e.prev32[slot])
+	}
+	return e.prev[slot]
+}
+
+// lookupFunc mirrors engine.lookupFunc through the block representatives:
+// candidate block pairs read the compressed previous-iteration buffer;
+// non-candidates resolve per §3.4 with the owning store's convention (the
+// dense store's baked stand-ins round through float32 under
+// Float32Scores, the sparse store's on-read stand-ins stay float64).
+func (e *qengine) lookupFunc() func(x, y graph.NodeID) float64 {
+	return func(x, y graph.NodeID) float64 {
+		ru := e.p1.Rep[e.p1.BlockOf[x]]
+		rv := e.p2.Rep[e.p2.BlockOf[y]]
+		if slot, ok := e.slotOf[pairbits.MakeKey(ru, rv)]; ok {
+			return e.prevScore(int(slot))
+		}
+		s := e.cs.StandIn(ru, rv)
+		if e.dense && e.f32 {
+			s = float64(float32(s))
+		}
+		return s
+	}
+}
+
+// updateSlot mirrors engine.updateSlot: Equation 3 through EvalPair, the
+// damping mix against the previous stored value, the float32
+// store-and-reload, and the absolute/relative extrema accounting.
+func (e *qengine) updateSlot(slot int) float64 {
+	u, v := e.repPairs[slot].Split()
+	s := e.cs.EvalPair(u, v, e.lookup, e.scratch)
+	p := e.prevScore(slot)
+	if damping := e.opts.Damping; damping > 0 {
+		s = damping*p + (1-damping)*s
+	}
+	if e.f32 {
+		e.cur32[slot] = float32(s)
+		s = float64(e.cur32[slot])
+	} else {
+		e.cur[slot] = s
+	}
+	d := s - p
+	if d < 0 {
+		d = -d
+	}
+	if d > e.maxAbs {
+		e.maxAbs = d
+	}
+	if p > 0 {
+		if r := d / p; r > e.maxRel {
+			e.maxRel = r
+		}
+	} else if d > 0 {
+		e.maxRel = 1
+	}
+	return d
+}
+
+func (e *qengine) iterate() {
+	for slot := range e.repPairs {
+		e.updateSlot(slot)
+	}
+}
+
+func (e *qengine) initWorklist() {
+	copy(e.cur, e.prev)
+	copy(e.cur32, e.prev32)
+	slots := len(e.repPairs)
+	e.active = pairbits.NewBitset(slots)
+	e.nextActive = pairbits.NewBitset(slots)
+	for slot := 0; slot < slots; slot++ {
+		e.active.Set(slot)
+	}
+}
+
+// expandedActive is the active worklist size in full-universe pairs.
+func (e *qengine) expandedActive() int {
+	total := int64(0)
+	for slot := range e.repPairs {
+		if e.active.Get(slot) {
+			total += e.weight[slot]
+		}
+	}
+	return int(total)
+}
+
+func (e *qengine) iterateDelta() {
+	eps := e.opts.DeltaEps
+	e.dirty = e.dirty[:0]
+	for slot := range e.repPairs {
+		if !e.active.Get(slot) {
+			continue
+		}
+		if d := e.updateSlot(slot); d > eps {
+			e.dirty = append(e.dirty, slot)
+		}
+	}
+}
+
+// syncAndAdvance mirrors engine.syncAndAdvance at the block level. The
+// mark-all threshold compares the EXPANDED dirty pair count (each dirty
+// slot stands for |block1|·|block2| full-universe pairs, all dirty
+// simultaneously because twins trace identical trajectories) against the
+// full candidate count — the exact decision the uncompressed engine makes.
+// Precise propagation walks every member pair of a dirty block pair
+// through the reverse candidate adjacency: a dependent (u, v) reads some
+// member (x′, y′), and since dependence is block-uniform in (u, v), the
+// union of marked representative slots is the exact projection of the
+// full engine's next worklist.
+func (e *qengine) syncAndAdvance() {
+	for slot := range e.repPairs {
+		if !e.active.Get(slot) {
+			continue
+		}
+		if e.f32 {
+			e.cur32[slot] = e.prev32[slot]
+		} else {
+			e.cur[slot] = e.prev[slot]
+		}
+	}
+	dirtyExpanded := int64(0)
+	for _, slot := range e.dirty {
+		dirtyExpanded += e.weight[slot]
+	}
+	if 4*dirtyExpanded >= int64(e.cs.NumCandidates()) {
+		for slot := range e.repPairs {
+			e.nextActive.Set(slot)
+		}
+	} else {
+		mark := func(u, v graph.NodeID) {
+			ru := e.p1.Rep[e.p1.BlockOf[u]]
+			rv := e.p2.Rep[e.p2.BlockOf[v]]
+			if slot, ok := e.slotOf[pairbits.MakeKey(ru, rv)]; ok {
+				e.nextActive.Set(int(slot))
+			}
+		}
+		damping := e.opts.Damping
+		for _, slot := range e.dirty {
+			for _, x := range e.p1.Members[e.blk1[slot]] {
+				for _, y := range e.p2.Members[e.blk2[slot]] {
+					e.cs.ForEachDependent(x, y, mark)
+				}
+			}
+			if damping > 0 {
+				e.nextActive.Set(slot)
+			}
+		}
+	}
+	e.active, e.nextActive = e.nextActive, e.active
+	e.nextActive.ClearAll()
+}

@@ -1,0 +1,316 @@
+package quotient
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fsim/internal/core"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+)
+
+// twinGraph generates a graph with guaranteed structural-twin blocks by
+// blowing up a random base graph: each base node becomes a block of one or
+// more members sharing a label, and each base edge becomes the complete
+// bipartite connection between the two blocks. Every block is a set of
+// structural twins by construction (identical literal out- and in-neighbor
+// ID sets — self-loops expand to full blocks too, preserving twinhood), so
+// the quotient partition provably has nontrivial blocks to compress.
+func twinGraph(seed int64, n, m, labels, extra int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make(map[[2]int]struct{})
+	for i := 0; i < m; i++ {
+		edges[[2]int{rng.Intn(n), rng.Intn(n)}] = struct{}{}
+	}
+	size := make([]int, n)
+	for i := range size {
+		size[i] = 1
+	}
+	for e := 0; e < extra; e++ {
+		size[rng.Intn(n)]++
+	}
+	b := graph.NewBuilder()
+	members := make([][]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		lbl := fmt.Sprintf("L%d", rng.Intn(labels))
+		for j := 0; j < size[i]; j++ {
+			members[i] = append(members[i], b.AddNode(lbl))
+		}
+	}
+	for e := range edges {
+		for _, a := range members[e[0]] {
+			for _, c := range members[e[1]] {
+				b.MustAddEdge(a, c)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestQuotientEquivalence is the tentpole's contract: across 50 seeds —
+// cycling all four variants, both score stores (the sparse store forced
+// via DenseCapPairs=1), full and delta convergence, θ + §3.4 pruning,
+// damping, float32 scores, DeltaEps > 0, pinned and converging budgets —
+// the quotient-compressed computation returns bit-identical scores,
+// iteration counts, convergence verdicts and per-iteration delta
+// trajectories to the uncompressed core engine, over the entire pair
+// universe.
+func TestQuotientEquivalence(t *testing.T) {
+	variants := []exact.Variant{exact.S, exact.DP, exact.B, exact.BJ}
+	for seed := int64(0); seed < 50; seed++ {
+		variant := variants[seed%4]
+		g1 := twinGraph(1000+seed, 16, 40, 3, 12)
+		g2 := g1
+		if seed%3 == 0 { // cross-graph similarity on a third of the seeds
+			g2 = twinGraph(2000+seed, 14, 35, 3, 10)
+		}
+
+		opts := core.DefaultOptions(variant)
+		opts.MaxIters = 7
+		if seed%5 == 0 { // pinned budget: every iteration executes
+			opts.Epsilon = 1e-300
+			opts.RelativeEps = false
+		}
+		if seed%2 == 0 {
+			opts.Theta = 0.75
+			opts.UpperBoundOpt = &core.UpperBound{Alpha: 0.3, Beta: 0.85}
+		}
+		if seed%7 == 0 {
+			opts.Damping = 0.3
+		}
+		if seed%4 == 1 {
+			opts.Float32Scores = true
+		}
+
+		for _, sparse := range []bool{false, true} {
+			for _, delta := range []bool{false, true} {
+				o := opts
+				if sparse {
+					o.DenseCapPairs = 1
+				}
+				o.DeltaMode = delta
+				if delta && seed%6 == 0 {
+					o.DeltaEps = 1e-4
+				}
+				name := fmt.Sprintf("seed=%d variant=%s sparse=%v delta=%v", seed, variant, sparse, delta)
+
+				full, err := core.Compute(g1, g2, o)
+				if err != nil {
+					t.Fatalf("%s: core.Compute: %v", name, err)
+				}
+				q, err := Compute(g1, g2, o)
+				if err != nil {
+					t.Fatalf("%s: quotient.Compute: %v", name, err)
+				}
+
+				if q.RepPairCount >= q.CandidateCount {
+					t.Errorf("%s: no compression: %d rep pairs of %d candidates", name, q.RepPairCount, q.CandidateCount)
+				}
+				if q.Iterations != full.Iterations || q.Converged != full.Converged {
+					t.Fatalf("%s: trajectory mismatch: iters %d/%d converged %v/%v",
+						name, q.Iterations, full.Iterations, q.Converged, full.Converged)
+				}
+				if len(q.Deltas) != len(full.Deltas) {
+					t.Fatalf("%s: delta trajectory length %d != %d", name, len(q.Deltas), len(full.Deltas))
+				}
+				for i := range q.Deltas {
+					if math.Float64bits(q.Deltas[i]) != math.Float64bits(full.Deltas[i]) {
+						t.Fatalf("%s: Deltas[%d] %v != %v", name, i, q.Deltas[i], full.Deltas[i])
+					}
+				}
+				if delta {
+					if len(q.ActivePairs) != len(full.ActivePairs) {
+						t.Fatalf("%s: ActivePairs length %d != %d", name, len(q.ActivePairs), len(full.ActivePairs))
+					}
+					for i := range q.ActivePairs {
+						if q.ActivePairs[i] != full.ActivePairs[i] {
+							t.Fatalf("%s: ActivePairs[%d] %d != %d (expanded worklist is not the exact projection)",
+								name, i, q.ActivePairs[i], full.ActivePairs[i])
+						}
+					}
+				}
+
+				for u := 0; u < g1.NumNodes(); u++ {
+					for v := 0; v < g2.NumNodes(); v++ {
+						fs := full.Score(graph.NodeID(u), graph.NodeID(v))
+						qs := q.Score(graph.NodeID(u), graph.NodeID(v))
+						if math.Float64bits(fs) != math.Float64bits(qs) {
+							t.Fatalf("%s: Score(%d,%d) = %v (quotient) != %v (full)", name, u, v, qs, fs)
+						}
+					}
+				}
+
+				// ForEach must reproduce the full engine's visiting order
+				// and values exactly (the experiment digests depend on it).
+				type visit struct {
+					u, v graph.NodeID
+					bits uint64
+				}
+				var fullSeq, qSeq []visit
+				full.ForEach(func(u, v graph.NodeID, s float64) {
+					fullSeq = append(fullSeq, visit{u, v, math.Float64bits(s)})
+				})
+				q.ForEach(func(u, v graph.NodeID, s float64) {
+					qSeq = append(qSeq, visit{u, v, math.Float64bits(s)})
+				})
+				if len(fullSeq) != len(qSeq) {
+					t.Fatalf("%s: ForEach visits %d pairs, full visits %d", name, len(qSeq), len(fullSeq))
+				}
+				for i := range fullSeq {
+					if fullSeq[i] != qSeq[i] {
+						t.Fatalf("%s: ForEach[%d] = %+v != %+v", name, i, qSeq[i], fullSeq[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRefineInvariants(t *testing.T) {
+	g := twinGraph(7, 12, 30, 2, 10)
+	p := Refine(g, DefaultRefineRounds)
+	if len(p.BlockOf) != g.NumNodes() {
+		t.Fatalf("BlockOf covers %d of %d nodes", len(p.BlockOf), g.NumNodes())
+	}
+	total := 0
+	for b, ms := range p.Members {
+		total += len(ms)
+		if len(ms) == 0 {
+			t.Fatalf("block %d empty", b)
+		}
+		if p.Rep[b] != ms[0] {
+			t.Fatalf("block %d: Rep %d is not the first member %d", b, p.Rep[b], ms[0])
+		}
+		for i, u := range ms {
+			if p.BlockOf[u] != int32(b) {
+				t.Fatalf("member %d of block %d has BlockOf %d", u, b, p.BlockOf[u])
+			}
+			if i > 0 && ms[i-1] >= u {
+				t.Fatalf("block %d members not ascending", b)
+			}
+		}
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("blocks cover %d of %d nodes", total, g.NumNodes())
+	}
+	// Same-block nodes must be literal structural twins.
+	for _, ms := range p.Members {
+		for _, u := range ms[1:] {
+			r := ms[0]
+			if g.Label(u) != g.Label(r) {
+				t.Fatalf("block mates %d,%d differ in label", r, u)
+			}
+			if fmt.Sprint(g.Out(u)) != fmt.Sprint(g.Out(r)) || fmt.Sprint(g.In(u)) != fmt.Sprint(g.In(r)) {
+				t.Fatalf("block mates %d,%d differ in adjacency", r, u)
+			}
+		}
+	}
+	// The partition is independent of the prefilter depth.
+	for _, k := range []int{0, 1, 5, -2} {
+		pk := Refine(g, k)
+		if pk.NumBlocks() != p.NumBlocks() {
+			t.Fatalf("k=%d: %d blocks != %d", k, pk.NumBlocks(), p.NumBlocks())
+		}
+		for u := range pk.BlockOf {
+			if pk.BlockOf[u] != p.BlockOf[u] {
+				t.Fatalf("k=%d: node %d in block %d, expected %d", k, u, pk.BlockOf[u], p.BlockOf[u])
+			}
+		}
+	}
+}
+
+func TestRefineMergesConstructedTwins(t *testing.T) {
+	// Reconstruct the generator's blocks and require the partition to put
+	// every constructed twin group in one block (it may merge more — base
+	// nodes can coincide — but never split a constructed group).
+	seed := int64(99)
+	rng := rand.New(rand.NewSource(seed))
+	n, m, labels, extra := 10, 25, 2, 8
+	edges := make(map[[2]int]struct{})
+	for i := 0; i < m; i++ {
+		edges[[2]int{rng.Intn(n), rng.Intn(n)}] = struct{}{}
+	}
+	size := make([]int, n)
+	for i := range size {
+		size[i] = 1
+	}
+	for e := 0; e < extra; e++ {
+		size[rng.Intn(n)]++
+	}
+	b := graph.NewBuilder()
+	members := make([][]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		lbl := fmt.Sprintf("L%d", rng.Intn(labels))
+		for j := 0; j < size[i]; j++ {
+			members[i] = append(members[i], b.AddNode(lbl))
+		}
+	}
+	for e := range edges {
+		for _, a := range members[e[0]] {
+			for _, c := range members[e[1]] {
+				b.MustAddEdge(a, c)
+			}
+		}
+	}
+	g := b.Build()
+	p := Refine(g, DefaultRefineRounds)
+	for i, ms := range members {
+		for _, u := range ms[1:] {
+			if p.BlockOf[u] != p.BlockOf[ms[0]] {
+				t.Fatalf("constructed twins %d,%d of base node %d split across blocks", ms[0], u, i)
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := twinGraph(11, 10, 22, 2, 8)
+	p := Refine(g, DefaultRefineRounds)
+	q := p.Summarize(g)
+	if q.NumNodes() != p.NumBlocks() {
+		t.Fatalf("quotient has %d nodes, partition %d blocks", q.NumNodes(), p.NumBlocks())
+	}
+	if g.NumNodes() <= q.NumNodes() {
+		t.Fatalf("no node compression: %d -> %d", g.NumNodes(), q.NumNodes())
+	}
+	for b := 0; b < p.NumBlocks(); b++ {
+		if q.NodeLabelName(graph.NodeID(b)) != g.NodeLabelName(p.Rep[b]) {
+			t.Fatalf("block %d label mismatch", b)
+		}
+	}
+	// Quotient edges are exactly the block-projected original edges.
+	want := make(map[[2]int32]struct{})
+	g.Edges(func(u, v graph.NodeID) bool {
+		want[[2]int32{p.BlockOf[u], p.BlockOf[v]}] = struct{}{}
+		return true
+	})
+	got := make(map[[2]int32]struct{})
+	q.Edges(func(u, v graph.NodeID) bool {
+		got[[2]int32{int32(u), int32(v)}] = struct{}{}
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("quotient has %d block edges, want %d", len(got), len(want))
+	}
+	for e := range want {
+		if _, ok := got[e]; !ok {
+			t.Fatalf("missing quotient edge %v", e)
+		}
+	}
+}
+
+func TestComputeRejectsIncompatibleOptions(t *testing.T) {
+	g := twinGraph(3, 8, 16, 2, 4)
+	pin := core.DefaultOptions(exact.BJ)
+	pin.PinDiagonal = true
+	if _, err := Compute(g, g, pin); err != ErrIncompatible {
+		t.Fatalf("PinDiagonal: got %v, want ErrIncompatible", err)
+	}
+	ini := core.DefaultOptions(exact.BJ)
+	ini.Init = func(_, _ *graph.Graph, u, v graph.NodeID, ls float64) float64 { return 0.5 }
+	if _, err := Compute(g, g, ini); err != ErrIncompatible {
+		t.Fatalf("Init: got %v, want ErrIncompatible", err)
+	}
+}

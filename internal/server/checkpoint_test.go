@@ -3,9 +3,12 @@ package server
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -159,7 +162,103 @@ func TestCheckpointErrorCounted(t *testing.T) {
 		t.Fatalf("stats must expose the failure cause, got errors=%d lastCheckpointError=%q",
 			sr.CheckpointErrs, sr.LastCheckpointError)
 	}
+	// The final Shutdown checkpoint also fails on the unwritable path, and
+	// /stats is unreachable after the drain — the error must come back out
+	// of Shutdown itself instead of being swallowed.
+	err = srv.Shutdown(shutdownCtx(t))
+	if err == nil || !strings.Contains(err.Error(), "final checkpoint") {
+		t.Fatalf("Shutdown must propagate the failed final checkpoint, got %v", err)
+	}
+	// Idempotence: a second Shutdown neither retries nor re-reports.
+	if err := srv.Shutdown(shutdownCtx(t)); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestWarmStartContract pins the documented fallback boundary: cold start
+// (nil maintainer, nil error) is for an EMPTY path or an ABSENT file only;
+// a corrupt snapshot must fail loudly — fsimserve exits on the error
+// instead of silently recomputing over a damaged file.
+func TestWarmStartContract(t *testing.T) {
+	if mt, err := WarmStart(""); mt != nil || err != nil {
+		t.Fatalf("empty path: got (%v, %v), want (nil, nil)", mt, err)
+	}
+	if mt, err := WarmStart(filepath.Join(t.TempDir(), "absent.fsnap")); mt != nil || err != nil {
+		t.Fatalf("absent file: got (%v, %v), want (nil, nil)", mt, err)
+	}
+
+	corrupt := filepath.Join(t.TempDir(), "corrupt.fsnap")
+	if err := os.WriteFile(corrupt, []byte("this is not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := WarmStart(corrupt)
+	if err == nil || mt != nil {
+		t.Fatalf("corrupt snapshot: got (%v, %v), want a loud error", mt, err)
+	}
+	if !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("corrupt snapshot error should wrap ErrCorrupt, got %v", err)
+	}
+
+	// A real checkpoint warm-starts into a serving maintainer at the
+	// checkpointed version.
+	g := dataset.RandomGraph(44, 12, 36, 3)
+	path := filepath.Join(t.TempDir(), "state.fsnap")
+	srv, err := New(g, checkpointOptions(), Options{SnapshotPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := do(t, srv, http.MethodPost, "/updates", "+e 0 5\n", nil); w.Code != http.StatusOK {
+		t.Fatalf("updates: status %d: %s", w.Code, w.Body.String())
+	}
+	wantVersion := srv.Maintainer().Version()
 	if err := srv.Shutdown(shutdownCtx(t)); err != nil {
 		t.Fatalf("Shutdown: %v", err)
+	}
+	mt, err = WarmStart(path)
+	if err != nil || mt == nil {
+		t.Fatalf("valid snapshot: got (%v, %v)", mt, err)
+	}
+	if mt.Version() != wantVersion {
+		t.Fatalf("warm-started version %d, want %d", mt.Version(), wantVersion)
+	}
+	warm := NewFromMaintainer(mt, Options{})
+	defer warm.Shutdown(shutdownCtx(t))
+	if w := do(t, warm, http.MethodGet, "/healthz", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("warm-started server /healthz: status %d", w.Code)
+	}
+}
+
+// TestCorruptSnapshotFailsStartupLoudly is the server-level regression for
+// the fsimserve startup path: with a corrupt file at the snapshot path,
+// the warm-start entry point must return the corruption error (fsimserve
+// turns it into a non-zero exit), never fall through to a cold start —
+// that fallback is documented for an absent file only.
+func TestCorruptSnapshotFailsStartupLoudly(t *testing.T) {
+	// Produce a VALID snapshot first, then damage it in place: this is the
+	// dangerous shape (a checkpointing deployment whose file rotted), not
+	// a file that was never a snapshot.
+	g := dataset.RandomGraph(45, 10, 30, 3)
+	path := filepath.Join(t.TempDir(), "state.fsnap")
+	srv, err := New(g, checkpointOptions(), Options{SnapshotPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(shutdownCtx(t)); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff // bit-flip in the middle: checksums must catch it
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mt, err := WarmStart(path)
+	if err == nil || mt != nil {
+		t.Fatalf("damaged checkpoint: got (%v, %v), want a loud error", mt, err)
+	}
+	if !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("damaged checkpoint error should wrap ErrCorrupt, got %v", err)
 	}
 }

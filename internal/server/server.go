@@ -215,18 +215,22 @@ func (s *Server) checkpointLoop() {
 }
 
 // writeCheckpoint persists the maintainer's current state to
-// Options.SnapshotPath. Failures are counted and their cause exposed in
-// /stats, not fatal: the previous snapshot stays intact (the writer
-// renames atomically), so a transient disk error only widens the
-// recovery window.
-func (s *Server) writeCheckpoint() {
+// Options.SnapshotPath and returns the save error. Periodic-checkpoint
+// failures are counted and their cause exposed in /stats, not fatal: the
+// previous snapshot stays intact (the writer renames atomically), so a
+// transient disk error only widens the recovery window. The FINAL
+// Shutdown checkpoint must not rely on those counters — they are
+// unreachable once the server has drained — so stopCheckpointer
+// propagates the returned error instead.
+func (s *Server) writeCheckpoint() error {
 	if err := snapshot.Save(s.mt, s.opts.SnapshotPath); err != nil {
 		s.metrics.checkpointErrors.Inc()
 		s.ckptLastErr.Store(err.Error())
-		return
+		return err
 	}
 	s.metrics.checkpoints.Inc()
 	s.ckptLastErr.Store("")
+	return nil
 }
 
 // stopCheckpointer shuts the checkpoint goroutine down and writes the
@@ -235,22 +239,31 @@ func (s *Server) writeCheckpoint() {
 // in-flight periodic checkpoint is still writing, the final checkpoint is
 // abandoned rather than blocking Shutdown past its grace period — the
 // goroutine finishes its current write in the background and the
-// previous snapshot stays valid. Idempotent; a no-op when checkpointing
-// is off.
-func (s *Server) stopCheckpointer(ctx context.Context) {
+// previous snapshot stays valid; that abandonment is reported as an error
+// (wrapping ctx's), as is a failed final write — the caller is the only
+// one left who can surface it. Idempotent (later calls return nil); a
+// no-op when checkpointing is off.
+func (s *Server) stopCheckpointer(ctx context.Context) error {
 	if s.ckptCh == nil {
-		return
+		return nil
 	}
+	var err error
 	s.ckptStop.Do(func() {
 		close(s.ckptCh)
 		select {
 		case <-s.ckptDone:
 			if ctx.Err() == nil {
-				s.writeCheckpoint()
+				if werr := s.writeCheckpoint(); werr != nil {
+					err = fmt.Errorf("final checkpoint: %w", werr)
+				}
+			} else {
+				err = fmt.Errorf("final checkpoint skipped: %w", ctx.Err())
 			}
 		case <-ctx.Done():
+			err = fmt.Errorf("final checkpoint skipped: %w", ctx.Err())
 		}
 	})
+	return err
 }
 
 // Maintainer exposes the owned maintainer (read-mostly callers: tests and
@@ -419,8 +432,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = s.mt.Close()
 	}
 	// Closed means no further Apply can commit, so this checkpoint is the
-	// final word on the served state (reads never mutate it).
-	s.stopCheckpointer(ctx)
+	// final word on the served state (reads never mutate it). A failed or
+	// abandoned final checkpoint surfaces in the returned error — the
+	// /stats counters it also bumps are unreachable after the drain.
+	if cerr := s.stopCheckpointer(ctx); cerr != nil {
+		err = errors.Join(err, cerr)
+	}
 	return err
 }
 

@@ -1,0 +1,26 @@
+package server
+
+import (
+	"errors"
+	"os"
+
+	"fsim/internal/dynamic"
+	"fsim/internal/snapshot"
+)
+
+// WarmStart loads the maintainer checkpointed at path, implementing the
+// documented cold-start contract: an empty path or an ABSENT file returns
+// (nil, nil) — the caller cold-starts, the normal first run of a
+// checkpointing deployment. Any other failure, corruption included, is
+// returned as an error rather than a silent cold start: an operator should
+// notice a damaged snapshot instead of paying a surprise recompute and
+// losing the bad file to the next checkpoint.
+func WarmStart(path string) (*dynamic.Maintainer, error) {
+	if path == "" {
+		return nil, nil
+	}
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	return snapshot.Load(path)
+}

@@ -82,13 +82,18 @@ const (
 )
 
 // Save atomically writes mt's state to path: the snapshot is assembled in
-// a temporary file in path's directory, synced, and renamed over path, so
-// readers never observe a partial snapshot and a crash preserves the
-// previous one. The state is serialized into memory first and written to
-// disk afterwards, so the maintainer's read lock — which excludes Apply —
-// is held only for the memory-bound encoding, never across disk I/O: a
-// slow disk cannot stall the update path, at the price of buffering one
-// snapshot (roughly the score store's size) during the call.
+// a temporary file in path's directory, synced, renamed over path, and the
+// parent directory is synced, so readers never observe a partial snapshot
+// and a crash preserves either the previous or the new one. The directory
+// sync is what makes the rename itself durable: rename only updates the
+// directory entry, and a crash before the directory's metadata reaches
+// disk can lose the entry entirely — warm start would then silently fall
+// back to a cold start. The state is serialized into memory first and
+// written to disk afterwards, so the maintainer's read lock — which
+// excludes Apply — is held only for the memory-bound encoding, never
+// across disk I/O: a slow disk cannot stall the update path, at the price
+// of buffering one snapshot (roughly the score store's size) during the
+// call.
 func Save(mt *dynamic.Maintainer, path string) error {
 	var buf bytes.Buffer
 	if err := Write(mt, &buf); err != nil {
@@ -119,6 +124,25 @@ func Save(mt *dynamic.Maintainer, path string) error {
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("snapshot: renaming into place: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("snapshot: opening directory %s for sync: %w", dir, err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("snapshot: syncing directory %s: %w", dir, err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("snapshot: closing directory %s: %w", dir, err)
 	}
 	return nil
 }

@@ -246,6 +246,24 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 }
 
+// TestSyncDirErrorPath covers the durability fix's failure branch: the
+// post-rename directory sync must surface (not swallow) an error, since a
+// Save whose directory entry never reached disk is not durable even though
+// the rename itself succeeded.
+func TestSyncDirErrorPath(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "gone")
+	err := syncDir(missing)
+	if err == nil {
+		t.Fatal("syncDir on a missing directory succeeded")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want a not-exist error, got %v", err)
+	}
+	if err := syncDir(t.TempDir()); err != nil {
+		t.Fatalf("syncDir on a real directory: %v", err)
+	}
+}
+
 // TestLoadMissingFile keeps the cold-start path honest: a missing snapshot
 // is an os error, not a corruption report.
 func TestLoadMissingFile(t *testing.T) {
