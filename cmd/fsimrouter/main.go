@@ -1,0 +1,116 @@
+// Command fsimrouter fronts a replicated fsimserve tier: it consistent-
+// hashes GET /topk and GET /query across follower replicas by the query
+// node u (so each user's working set concentrates on one replica's
+// caches), forwards POST /updates to the leader, and enforces
+// read-your-writes — a read carrying the X-Fsim-Min-Version header is
+// only answered with a response computed at that graph version or newer.
+//
+// Usage:
+//
+//	fsimrouter -leader http://leader:8080 \
+//	    -replicas http://f1:8081,http://f2:8082 [flags]
+//
+// A background probe loop polls every replica's GET /readyz: replicas
+// that fail are ejected from the hash ring (their keys fail over to the
+// next replica clockwise) and readmitted when the probe recovers —
+// ejection flips a health bit without moving ring placements, so a
+// bounced replica returns to exactly the keys it served before.
+//
+// Endpoints: /topk and /query (sharded reads), /updates (forwarded to the
+// leader), /healthz and /readyz (router health; /readyz is 503 with no
+// healthy replica), /stats (routing counters and per-replica health).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fsim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	leader := flag.String("leader", "", "leader base URL (required)")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs (required)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default 64)")
+	healthInterval := flag.Duration("health-interval", 250*time.Millisecond, "replica /readyz probe cadence")
+	retryWait := flag.Duration("retry-wait", 5*time.Millisecond, "pause before re-asking a lagging replica to reach a read-your-writes floor")
+	readRetries := flag.Int("read-retries", 100, "total forwarding attempts per read (version-floor retries and failovers combined)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fsimrouter -leader http://host:port -replicas url1,url2,... [flags]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *leader == "" || *replicas == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *vnodes < 0 {
+		fatal(fmt.Errorf("-vnodes must be non-negative, got %d", *vnodes))
+	}
+	if *healthInterval <= 0 {
+		fatal(fmt.Errorf("-health-interval must be positive, got %s", *healthInterval))
+	}
+	if *readRetries < 0 {
+		fatal(fmt.Errorf("-read-retries must be non-negative, got %d", *readRetries))
+	}
+	var replicaURLs []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			replicaURLs = append(replicaURLs, r)
+		}
+	}
+
+	rt, err := fsim.NewRouter(fsim.RouterOptions{
+		Leader:         *leader,
+		Replicas:       replicaURLs,
+		VirtualNodes:   *vnodes,
+		HealthInterval: *healthInterval,
+		RetryWait:      *retryWait,
+		ReadRetries:    *readRetries,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "routing %d replicas for leader %s; serving on %s\n", len(replicaURLs), *leader, *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "received %s, shutting down...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		rt.Close()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "fsimrouter: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsimrouter:", err)
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,8 @@
 //
 //	fsimserve [flags] <graph>
 //	fsimserve -snapshot state.fsnap [flags] [<graph>]
+//	fsimserve -role leader [flags] <graph>
+//	fsimserve -role follower -leader http://leader:8080 [flags]
 //
 // With -snapshot, the server checkpoints its state to the given file
 // (crash-safe: temporary file + rename) on graceful shutdown and — with
@@ -17,12 +19,23 @@
 // carries the computation options, so the variant/θ/weights flags are
 // ignored on a warm start).
 //
+// Roles (see the README's "Replication & sharding" section): -role leader
+// additionally retains a bounded change log (-retain-versions) and serves
+// GET /changes and GET /snapshot to replicas. -role follower takes no
+// graph argument: it warm-starts from the leader's snapshot (or a shared
+// -snapshot file when present), tails the leader's change log every
+// -poll-interval, refuses external writes, and gates GET /readyz on
+// replication lag (-max-lag). Front a follower fleet with fsimrouter.
+//
 // Endpoints:
 //
 //	GET  /topk?u=<node>&k=<n>   top-k most similar nodes for u
 //	GET  /query?u=<u>&v=<v>     the single score FSimχ(u, v)
 //	POST /updates               update-stream body ("+n" / "+e" / "-e" lines)
 //	GET  /healthz               liveness and current graph version
+//	GET  /readyz                readiness (503 while draining or syncing)
+//	GET  /changes?from=<v>      leader only: change-log tail for replicas
+//	GET  /snapshot              leader only: binary state snapshot
 //	GET  /stats                 serving counters
 //
 // Every read response is stamped with the graph version it was computed
@@ -50,18 +63,45 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	eng := cliflags.Register(flag.CommandLine, cliflags.Defaults{Theta: 0.6, UBBeta: 0.5, UBAlpha: 0.3})
 	iters := flag.Int("iters", 12, "pinned iteration budget (served scores are bit-identical to a fresh Compute at this budget)")
-	cacheEntries := flag.Int("cache", 0, "result cache entries (0 = default 4096, negative = disable)")
+	cacheEntries := flag.Int("cache", 0, "result cache entries (0 = default 4096)")
+	noCache := flag.Bool("no-cache", false, "disable the result cache")
 	inflight := flag.Int("inflight", 0, "max concurrent score computations before 429 (0 = 2×GOMAXPROCS, negative = unlimited)")
 	drainTimeout := flag.Duration("drain", 10*time.Second, "graceful-drain timeout on shutdown")
 	snapshotPath := flag.String("snapshot", "", "snapshot file: warm start from it when present, checkpoint to it on shutdown")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "also checkpoint after every N applied update batches (needs -snapshot)")
+	role := flag.String("role", "single", "serving role: single, leader, or follower")
+	leaderURL := flag.String("leader", "", "leader base URL (required with -role follower)")
+	retainVersions := flag.Int("retain-versions", 0, "leader: change-log retention in version steps (0 = default 1024)")
+	pollInterval := flag.Duration("poll-interval", 50*time.Millisecond, "follower: change-log tailing cadence")
+	maxLag := flag.Uint64("max-lag", 0, "follower: largest version gap to the leader at which /readyz still answers ready")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: fsimserve [flags] <graph>\n       fsimserve -snapshot state.fsnap [flags] [<graph>]")
+		fmt.Fprintln(os.Stderr, "usage: fsimserve [flags] <graph>\n"+
+			"       fsimserve -snapshot state.fsnap [flags] [<graph>]\n"+
+			"       fsimserve -role leader [flags] <graph>\n"+
+			"       fsimserve -role follower -leader http://host:port [flags]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	// Flag validation up front: a descriptive refusal beats a server that
+	// starts with a silently-nonsensical configuration.
+	if *iters <= 0 {
+		fatal(fmt.Errorf("-iters must be positive, got %d (the pinned iteration budget is what makes served scores reproducible)", *iters))
+	}
+	if *cacheEntries < 0 {
+		fatal(fmt.Errorf("-cache must be non-negative, got %d (use -no-cache to disable the result cache)", *cacheEntries))
+	}
+	if *checkpointEvery < 0 {
+		fatal(fmt.Errorf("-checkpoint-every must be non-negative, got %d", *checkpointEvery))
+	}
 	if *checkpointEvery > 0 && *snapshotPath == "" {
 		fatal(fmt.Errorf("-checkpoint-every needs -snapshot"))
+	}
+	if *retainVersions < 0 {
+		fatal(fmt.Errorf("-retain-versions must be non-negative, got %d", *retainVersions))
+	}
+	if *pollInterval <= 0 {
+		fatal(fmt.Errorf("-poll-interval must be positive, got %s", *pollInterval))
 	}
 
 	sopts := fsim.ServerOptions{
@@ -69,8 +109,46 @@ func main() {
 		MaxInFlight:     *inflight,
 		SnapshotPath:    *snapshotPath,
 		CheckpointEvery: *checkpointEvery,
+		RetainVersions:  *retainVersions,
+	}
+	if *noCache {
+		sopts.CacheEntries = -1
 	}
 
+	switch *role {
+	case "single", "leader":
+		if *leaderURL != "" {
+			fatal(fmt.Errorf("-leader only applies to -role follower"))
+		}
+		if *role == "leader" {
+			sopts.Role = fsim.RoleLeader
+		}
+		runServer(sopts, eng, *addr, *iters, *snapshotPath, *drainTimeout)
+	case "follower":
+		if *leaderURL == "" {
+			fatal(fmt.Errorf("-role follower needs -leader"))
+		}
+		if flag.NArg() != 0 {
+			fatal(fmt.Errorf("-role follower takes no graph argument (state comes from the leader)"))
+		}
+		runFollower(fsim.FollowerOptions{
+			Leader:       *leaderURL,
+			SnapshotPath: *snapshotPath,
+			Server:       sopts,
+			PollInterval: *pollInterval,
+			MaxLag:       *maxLag,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}, *addr, *drainTimeout)
+	default:
+		fatal(fmt.Errorf("unknown -role %q (want single, leader, or follower)", *role))
+	}
+}
+
+// runServer is the single/leader path: build (or warm-start) a Server and
+// serve until a signal drains it.
+func runServer(sopts fsim.ServerOptions, eng *cliflags.Engine, addr string, iters int, snapshotPath string, drainTimeout time.Duration) {
 	var srv *fsim.Server
 	start := time.Now()
 	// WarmStart implements the documented fallback contract: cold start
@@ -78,7 +156,7 @@ func main() {
 	// failure are fatal, so an operator notices a damaged snapshot instead
 	// of paying a surprise recompute and losing the bad file to the next
 	// checkpoint.
-	mt, err := fsim.WarmStart(*snapshotPath)
+	mt, err := fsim.WarmStart(snapshotPath)
 	fatal(err)
 	if mt != nil {
 		if flag.NArg() > 1 {
@@ -87,11 +165,11 @@ func main() {
 		}
 		srv = fsim.NewServerFromMaintainer(mt, sopts)
 		fmt.Fprintf(os.Stderr, "warm start from %s (version %d, %s) in %s; serving on %s\n",
-			*snapshotPath, mt.Version(), mt.Graph().Stats(),
-			time.Since(start).Round(time.Millisecond), *addr)
+			snapshotPath, mt.Version(), mt.Graph().Stats(),
+			time.Since(start).Round(time.Millisecond), addr)
 	} else {
-		if *snapshotPath != "" {
-			fmt.Fprintf(os.Stderr, "snapshot %s not present; cold start\n", *snapshotPath)
+		if snapshotPath != "" {
+			fmt.Fprintf(os.Stderr, "snapshot %s not present; cold start\n", snapshotPath)
 		}
 		if flag.NArg() != 1 {
 			flag.Usage()
@@ -106,14 +184,30 @@ func main() {
 		// Pin the iteration budget so served scores are reproducible
 		// bit-for-bit by a fresh Compute — and by a warm start from a
 		// snapshot this process (or `fsim snapshot`) wrote.
-		opts = opts.WithPinnedIterations(*iters)
+		opts = opts.WithPinnedIterations(iters)
 
 		srv, err = fsim.NewServer(g, opts, sopts)
 		fatal(err)
-		fmt.Fprintf(os.Stderr, "initial fixed point in %s; serving on %s\n", time.Since(start).Round(time.Millisecond), *addr)
+		fmt.Fprintf(os.Stderr, "initial fixed point in %s; serving on %s\n", time.Since(start).Round(time.Millisecond), addr)
 	}
+	serveUntilSignal(srv, addr, drainTimeout, func(ctx context.Context) error { return srv.Shutdown(ctx) })
+}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+// runFollower is the replica path: warm-start from the leader and serve
+// the replication loop's state until a signal drains it.
+func runFollower(fopts fsim.FollowerOptions, addr string, drainTimeout time.Duration) {
+	start := time.Now()
+	f, err := fsim.StartFollower(context.Background(), fopts)
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "follower of %s at version %d in %s; serving on %s\n",
+		fopts.Leader, f.Version(), time.Since(start).Round(time.Millisecond), addr)
+	serveUntilSignal(f, addr, drainTimeout, f.Close)
+}
+
+// serveUntilSignal runs the HTTP server and performs the graceful drain
+// dance on SIGINT/SIGTERM.
+func serveUntilSignal(handler http.Handler, addr string, drainTimeout time.Duration, drain func(context.Context) error) {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 
@@ -124,7 +218,7 @@ func main() {
 		fatal(err)
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "received %s, draining...\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		// Drain the serving layer first (new compute/update requests get
 		// 503, in-flight ones finish), then stop accepting connections. A
@@ -133,7 +227,7 @@ func main() {
 		// act on it (the /stats counters it also bumps are gone with the
 		// server), so finish the HTTP teardown and exit non-zero.
 		exitCode := 0
-		if err := srv.Shutdown(ctx); err != nil {
+		if err := drain(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "fsimserve: drain: %v\n", err)
 			exitCode = 1
 		}

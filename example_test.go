@@ -1,6 +1,7 @@
 package fsim_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"fsim"
 )
@@ -191,6 +193,111 @@ func ExampleServer() {
 	}
 	resp.Body.Close()
 	topk()
+	// Output:
+	// version 0:
+	//   node 0: 1.00
+	//   node 3: 0.87
+	// version 1:
+	//   node 0: 1.00
+	//   node 3: 1.00
+}
+
+// ExampleNewRouter runs the replicated serving tier in one process: a
+// leader owning the write path, two followers replicating its change log,
+// and a router consistent-hashing reads across them. The client's
+// read-your-writes token (the X-Fsim-Version header of its write) makes
+// the router wait for a replica that has caught up, so the read after the
+// update observes the new version — with scores bit-identical to the
+// leader's.
+func ExampleNewRouter() {
+	b := fsim.NewBuilder()
+	ada := b.AddNode("user")
+	b.MustAddEdge(ada, b.AddNode("item"))
+	b.MustAddEdge(ada, b.AddNode("item"))
+	rival := b.AddNode("user")
+	b.MustAddEdge(rival, b.AddNode("item"))
+	g := b.Build()
+
+	opts := fsim.DefaultOptions(fsim.BJ)
+	opts.Theta = 0.6
+	opts.Threads = 1
+	leader, err := fsim.NewServer(g, opts, fsim.ServerOptions{Role: fsim.RoleLeader})
+	if err != nil {
+		panic(err)
+	}
+	leaderTS := httptest.NewServer(leader)
+	defer leaderTS.Close()
+
+	ctx := context.Background()
+	var replicas []string
+	for i := 0; i < 2; i++ {
+		f, err := fsim.StartFollower(ctx, fsim.FollowerOptions{
+			Leader:       leaderTS.URL,
+			PollInterval: 5 * time.Millisecond,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close(ctx)
+		ts := httptest.NewServer(f)
+		defer ts.Close()
+		replicas = append(replicas, ts.URL)
+	}
+
+	router, err := fsim.NewRouter(fsim.RouterOptions{
+		Leader:         leaderTS.URL,
+		Replicas:       replicas,
+		HealthInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer router.Close()
+	routerTS := httptest.NewServer(router)
+	defer routerTS.Close()
+
+	// Wait for the probe loop to admit both replicas.
+	for router.Ring().HealthyCount() < 2 {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	read := func(minVersion string) {
+		req, _ := http.NewRequest(http.MethodGet, routerTS.URL+"/topk?u=0&k=2", nil)
+		if minVersion != "" {
+			req.Header.Set(fsim.MinVersionHeader, minVersion)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		var tr struct {
+			GraphVersion uint64 `json:"graphVersion"`
+			Results      []struct {
+				Node  int     `json:"node"`
+				Score float64 `json:"score"`
+			} `json:"results"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			panic(err)
+		}
+		fmt.Printf("version %d:\n", tr.GraphVersion)
+		for _, r := range tr.Results {
+			fmt.Printf("  node %d: %.2f\n", r.Node, r.Score)
+		}
+	}
+	read("")
+
+	// A write through the router lands on the leader; its response header
+	// is the read-your-writes token for the follow-up read.
+	resp, err := http.Post(routerTS.URL+"/updates", "text/plain",
+		strings.NewReader("+n item\n+e 3 5\n"))
+	if err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	token := resp.Header.Get(fsim.VersionHeader)
+	read(token)
 	// Output:
 	// version 0:
 	//   node 0: 1.00

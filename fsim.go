@@ -93,8 +93,10 @@
 package fsim
 
 import (
+	"context"
 	"io"
 
+	"fsim/internal/cluster"
 	"fsim/internal/core"
 	"fsim/internal/dynamic"
 	"fsim/internal/exact"
@@ -311,6 +313,64 @@ func NewServerFromMaintainer(mt *Maintainer, sopts ServerOptions) *Server {
 // ErrMaintainerClosed is returned by Maintainer.Apply after Close (for a
 // Server: after Shutdown has drained it).
 var ErrMaintainerClosed = dynamic.ErrClosed
+
+// ServerRole selects a Server's place in a replicated tier (see the
+// README's "Replication & sharding" section): RoleSingle is the default
+// standalone server; RoleLeader additionally retains a bounded versioned
+// change log and serves it to replicas via GET /changes and GET
+// /snapshot; RoleFollower refuses external writes and reports replication
+// lag through GET /readyz.
+type ServerRole = server.Role
+
+// The serving-tier roles.
+const (
+	RoleSingle   = server.RoleSingle
+	RoleLeader   = server.RoleLeader
+	RoleFollower = server.RoleFollower
+)
+
+// VersionHeader is the response header every read and write carries: the
+// graph version the body was computed at. Clients use it as their
+// read-your-writes token (see MinVersionHeader).
+const VersionHeader = server.VersionHeader
+
+// MinVersionHeader is the request header a client sets on router reads to
+// enforce read-your-writes: the router only relays a replica response
+// computed at this version or newer.
+const MinVersionHeader = cluster.MinVersionHeader
+
+// Follower is a read replica of a leader Server: it warm-starts from a
+// leader snapshot (over HTTP, or from a shared file), tails the leader's
+// change log, and applies every version step through the same incremental
+// maintenance the leader ran — so the scores it serves are bit-identical
+// to the leader's at the stamped version. It is an http.Handler; mount it
+// like a Server.
+type Follower = cluster.Follower
+
+// FollowerOptions configures a Follower (leader URL, warm-start snapshot
+// path, poll cadence, readiness lag bound, embedded-server options).
+type FollowerOptions = cluster.FollowerOptions
+
+// StartFollower builds a replica of the configured leader and starts its
+// replication loop. Stop it with Follower.Close.
+func StartFollower(ctx context.Context, opts FollowerOptions) (*Follower, error) {
+	return cluster.StartFollower(ctx, opts)
+}
+
+// Router is the replicated tier's front door: an http.Handler that
+// consistent-hashes GET /topk and /query across follower replicas by the
+// query node u, forwards POST /updates to the leader, enforces
+// read-your-writes via MinVersionHeader, and ejects/readmits replicas on
+// readiness-probe transitions.
+type Router = cluster.Router
+
+// RouterOptions configures a Router (leader URL, replica URLs, probe
+// cadence, retry policy).
+type RouterOptions = cluster.RouterOptions
+
+// NewRouter validates opts and starts the router's health-probe loop.
+// Stop it with Router.Close.
+func NewRouter(opts RouterOptions) (*Router, error) { return cluster.NewRouter(opts) }
 
 // WarmStart loads the Maintainer checkpointed at path with the serving
 // tier's cold-start contract: an empty path or an absent file returns

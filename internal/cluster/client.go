@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"fsim/internal/dynamic"
+	"fsim/internal/snapshot"
+)
+
+// ErrCompacted reports that the version a follower asked to tail from has
+// been compacted out of the leader's change log (HTTP 410): the follower
+// must re-sync from a full snapshot instead of replaying changes.
+var ErrCompacted = errors.New("cluster: requested version compacted from the leader's change log")
+
+// leaderClient is the follower/router side of the leader's replication
+// endpoints.
+type leaderClient struct {
+	base string
+	http *http.Client
+}
+
+func newLeaderClient(base string, hc *http.Client) *leaderClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &leaderClient{base: base, http: hc}
+}
+
+// changes tails the leader's log from version `from`, returning the parsed
+// version steps and the leader's current version. The response is
+// validated end to end: the step sequence must start at from+1 and end at
+// the advertised To header, so a truncated body surfaces as an error
+// instead of a silently short tail.
+func (c *leaderClient) changes(ctx context.Context, from uint64) ([]dynamic.VersionedChanges, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/changes?from=%d", c.base, from), nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, resp.Body)
+		return nil, 0, ErrCompacted
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, 0, fmt.Errorf("cluster: GET /changes?from=%d: status %d: %s", from, resp.StatusCode, body)
+	}
+	to, err := strconv.ParseUint(resp.Header.Get("X-Fsim-To-Version"), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("cluster: GET /changes: bad To-Version header %q", resp.Header.Get("X-Fsim-To-Version"))
+	}
+	steps, err := dynamic.ReadChangeStream(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(steps) > 0 {
+		if steps[0].Version != from+1 {
+			return nil, 0, fmt.Errorf("cluster: tail from %d starts at version %d", from, steps[0].Version)
+		}
+		if last := steps[len(steps)-1].Version; last != to {
+			return nil, 0, fmt.Errorf("cluster: tail ends at version %d, leader advertised %d (truncated response?)", last, to)
+		}
+	} else if to != from {
+		return nil, 0, fmt.Errorf("cluster: empty tail but leader advanced %d→%d (truncated response?)", from, to)
+	}
+	return steps, to, nil
+}
+
+// snapshot downloads the leader's current state and rebuilds a maintainer
+// from it — the warm-start and re-sync path. The snapshot codec's
+// checksums reject truncated or corrupted streams.
+func (c *leaderClient) snapshot(ctx context.Context) (*dynamic.Maintainer, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: GET /snapshot: status %d: %s", resp.StatusCode, body)
+	}
+	return snapshot.Read(resp.Body)
+}

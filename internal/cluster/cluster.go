@@ -1,0 +1,44 @@
+// Package cluster scales the serving tier horizontally: one leader owns
+// the write path and retains a bounded, versioned change log; any number
+// of followers warm-start from a leader snapshot and tail GET /changes,
+// applying each version step through the same incremental maintenance the
+// leader ran — so every replica serves scores bit-identical to the
+// leader's at the stamped graph version. A Router fronts the fleet,
+// consistent-hashing reads across replicas by query node, forwarding
+// writes to the leader, and enforcing read-your-writes through
+// version-stamped retries.
+//
+// The consistency model is deliberately simple: replication is
+// asynchronous (replicas lag by at most a poll interval under healthy
+// conditions), but every response is version-stamped and every version's
+// scores are deterministic, so "stale" never means "wrong" — a reader
+// either sees version N exactly as the leader computed it, or waits for
+// it via the X-Fsim-Min-Version floor. There is no election: the leader
+// is configuration, matching the single-writer design of the maintenance
+// engine.
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// relayResponse copies a backend response to the client: status, the
+// headers the serving protocol defines, and the body.
+func relayResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "X-Fsim-Version", "X-Fsim-Cache"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func writeRouterJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,431 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fsim/internal/dataset"
+	"fsim/internal/graph"
+	"fsim/internal/server"
+)
+
+// node is an HTTP server on a real loopback socket whose address can be
+// re-bound after an abrupt close (the in-process stand-in for killing and
+// restarting a replica process).
+type node struct {
+	addr string
+	url  string
+	srv  *http.Server
+}
+
+func serveOn(t *testing.T, addr string, h http.Handler) *node {
+	t.Helper()
+	var ln net.Listener
+	var err error
+	// Rebinding a just-closed address can briefly race the old listener's
+	// teardown; retry instead of flaking.
+	for i := 0; i < 40; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	n := &node{addr: ln.Addr().String(), srv: &http.Server{Handler: h}}
+	n.url = "http://" + n.addr
+	go n.srv.Serve(ln)
+	return n
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func randomEffectiveChange(rng *rand.Rand, m *graph.Mutable) graph.Change {
+	n := m.NumNodes()
+	if rng.Intn(2) == 0 {
+		for try := 0; try < 32; try++ {
+			u := graph.NodeID(rng.Intn(n))
+			if out := m.Out(u); len(out) > 0 {
+				return graph.Change{Op: graph.OpRemoveEdge, U: u, V: out[rng.Intn(len(out))]}
+			}
+		}
+	}
+	for {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u != v && !m.HasEdge(u, v) {
+			return graph.Change{Op: graph.OpAddEdge, U: u, V: v}
+		}
+	}
+}
+
+// TestClusterEndToEnd is the tentpole property test: a leader, two
+// followers, and a router on real loopback sockets; a writer streams
+// update batches through the router while 16 concurrent readers hammer
+// /topk with read-your-writes floors. Mid-run one follower is killed
+// abruptly (listener torn down, no drain), the cluster keeps serving, and
+// the follower is restarted on the same address and re-syncs. Afterwards,
+// EVERY response any reader observed is checked bit-identical against a
+// fresh single-process server at the stamped graph version — the
+// replicated tier must be indistinguishable from one process, modulo
+// staleness bounded by the version stamps.
+func TestClusterEndToEnd(t *testing.T) {
+	g := dataset.RandomGraph(51, 20, 60, 3)
+	opts := testOptions()
+
+	// MaxInFlight -1: 16 readers against a 1-core runner would trip the
+	// default compute-admission limit (2×GOMAXPROCS) into 429s; this test
+	// is about consistency, not backpressure.
+	leaderSrv, err := server.New(g, opts, server.Options{Role: server.RoleLeader, MaxInFlight: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaderSrv.Shutdown(context.Background())
+	leaderNode := serveOn(t, "127.0.0.1:0", leaderSrv)
+	defer leaderNode.srv.Close()
+
+	// Pre-generate always-effective batches against a mirror, recording
+	// the exact graph at every version for the final verification.
+	mirror := graph.MutableOf(g)
+	rng := rand.New(rand.NewSource(99))
+	const numBatches = 8
+	snapshots := map[uint64]*graph.Graph{0: g}
+	var batches [][]graph.Change
+	for b := 0; b < numBatches; b++ {
+		var batch []graph.Change
+		for i := 0; i < 2; i++ {
+			c := randomEffectiveChange(rng, mirror)
+			if _, err := mirror.Apply(c); err != nil {
+				t.Fatal(err)
+			}
+			batch = append(batch, c)
+		}
+		batches = append(batches, batch)
+		snapshots[uint64(b+1)] = mirror.Snapshot()
+	}
+
+	ctx := context.Background()
+	startFollower := func() *Follower {
+		f, err := StartFollower(ctx, FollowerOptions{
+			Leader:       leaderNode.url,
+			PollInterval: 5 * time.Millisecond,
+			Server:       server.Options{MaxInFlight: -1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f1 := startFollower()
+	n1 := serveOn(t, "127.0.0.1:0", f1)
+	f2 := startFollower()
+	n2 := serveOn(t, "127.0.0.1:0", f2)
+	defer func() {
+		n2.srv.Close()
+		f2.Close(ctx)
+	}()
+
+	rt, err := NewRouter(RouterOptions{
+		Leader:         leaderNode.url,
+		Replicas:       []string{n1.url, n2.url},
+		HealthInterval: 20 * time.Millisecond,
+		RetryWait:      2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	routerNode := serveOn(t, "127.0.0.1:0", rt)
+	defer routerNode.srv.Close()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	ready := func(url string) bool {
+		resp, err := client.Get(url + "/readyz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode == http.StatusOK
+	}
+	waitFor(t, 5*time.Second, "followers ready", func() bool { return ready(n1.url) && ready(n2.url) })
+
+	// Readers: each loops until stopped, stamping every request with the
+	// latest write token it saw — the read-your-writes contract says no
+	// response may be older.
+	type obs struct {
+		u       int
+		version uint64
+		body    []byte
+	}
+	var (
+		lastToken    atomic.Uint64
+		stopReaders  = make(chan struct{})
+		mu           sync.Mutex
+		observations []obs
+		readerFail   atomic.Value // string
+	)
+	fail := func(format string, args ...any) {
+		readerFail.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rrng := rand.New(rand.NewSource(int64(1000 + id)))
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				u := rrng.Intn(g.NumNodes())
+				token := lastToken.Load()
+				req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/topk?u=%d&k=5", routerNode.url, u), nil)
+				if err != nil {
+					fail("reader %d: %v", id, err)
+					return
+				}
+				if token > 0 {
+					req.Header.Set(MinVersionHeader, strconv.FormatUint(token, 10))
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					fail("reader %d: %v", id, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					fail("reader %d: %v", id, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					fail("reader %d: status %d: %s", id, resp.StatusCode, body)
+					return
+				}
+				version, err := strconv.ParseUint(resp.Header.Get(server.VersionHeader), 10, 64)
+				if err != nil {
+					fail("reader %d: bad version header %q", id, resp.Header.Get(server.VersionHeader))
+					return
+				}
+				if version < token {
+					fail("reader %d: read-your-writes violated: response at version %d, write token %d", id, version, token)
+					return
+				}
+				mu.Lock()
+				observations = append(observations, obs{u: u, version: version, body: body})
+				mu.Unlock()
+			}
+		}(r)
+	}
+
+	post := func(batch []graph.Change) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := graph.WriteChanges(&buf, batch); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Post(routerNode.url+"/updates", "text/plain", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /updates via router: status %d: %s", resp.StatusCode, body)
+		}
+		v, err := strconv.ParseUint(resp.Header.Get(server.VersionHeader), 10, 64)
+		if err != nil {
+			t.Fatalf("write response version header %q: %v", resp.Header.Get(server.VersionHeader), err)
+		}
+		lastToken.Store(v)
+	}
+
+	// Phase 1: writes with both followers up.
+	for b := 0; b < 3; b++ {
+		post(batches[b])
+		time.Sleep(15 * time.Millisecond)
+	}
+
+	// Kill follower 1 abruptly: listener down, no drain. Readers keep
+	// going — the router must eject it and serve from follower 2.
+	n1.srv.Close()
+	f1.Close(ctx)
+
+	// Phase 2: writes while degraded.
+	for b := 3; b < 6; b++ {
+		post(batches[b])
+		time.Sleep(15 * time.Millisecond)
+	}
+
+	// Restart on the SAME address; the fresh follower re-syncs from the
+	// leader (snapshot warm start + change-log tail) and the router's
+	// probe loop readmits it.
+	f1b := startFollower()
+	n1b := serveOn(t, n1.addr, f1b)
+	defer func() {
+		n1b.srv.Close()
+		f1b.Close(ctx)
+	}()
+	waitFor(t, 5*time.Second, "router readmits restarted follower", func() bool {
+		resp, err := client.Get(routerNode.url + "/healthz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var hr RouterHealthResponse
+		if err := jsonDecode(resp.Body, &hr); err != nil {
+			return false
+		}
+		return hr.HealthyReplicas == 2
+	})
+
+	// Phase 3: writes with the restarted follower back in rotation.
+	for b := 6; b < numBatches; b++ {
+		post(batches[b])
+		time.Sleep(15 * time.Millisecond)
+	}
+
+	// Both followers must converge to the final version (read-your-writes
+	// holds on whichever replica the ring picks).
+	finalVersion := lastToken.Load()
+	if finalVersion != numBatches {
+		t.Fatalf("final version %d, want %d", finalVersion, numBatches)
+	}
+	for _, f := range []*Follower{f1b, f2} {
+		f := f
+		waitFor(t, 5*time.Second, "follower catches up to final version", func() bool {
+			return f.Version() == finalVersion
+		})
+	}
+
+	close(stopReaders)
+	wg.Wait()
+	if msg := readerFail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+
+	// Verification: every observed response must be bit-identical to a
+	// fresh single-process server at the stamped version.
+	refs := make(map[uint64]*server.Server)
+	defer func() {
+		for _, s := range refs {
+			s.Shutdown(context.Background())
+		}
+	}()
+	// A fresh maintainer starts at version 0 whatever graph it holds, so
+	// the reference's graphVersion field is normalized out; the scores —
+	// the part that must be bit-identical — are compared exactly (JSON
+	// float64 round-trips losslessly in Go).
+	refTopK := func(version uint64, u int) server.TopKResponse {
+		ref, ok := refs[version]
+		if !ok {
+			snap, have := snapshots[version]
+			if !have {
+				t.Fatalf("observed unknown version %d", version)
+			}
+			var err error
+			ref, err = server.New(snap, opts, server.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[version] = ref
+		}
+		w := httptest.NewRecorder()
+		ref.ServeHTTP(w, httptest.NewRequest(http.MethodGet, fmt.Sprintf("/topk?u=%d&k=5", u), nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("reference /topk u=%d at version %d: status %d", u, version, w.Code)
+		}
+		var tr server.TopKResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &tr); err != nil {
+			t.Fatal(err)
+		}
+		tr.GraphVersion = version
+		return tr
+	}
+	type key struct {
+		version uint64
+		u       int
+	}
+	verified := make(map[key]server.TopKResponse)
+	if len(observations) == 0 {
+		t.Fatal("readers recorded no observations")
+	}
+	versionsSeen := make(map[uint64]bool)
+	for _, o := range observations {
+		versionsSeen[o.version] = true
+		k := key{o.version, o.u}
+		want, ok := verified[k]
+		if !ok {
+			want = refTopK(o.version, o.u)
+			verified[k] = want
+		}
+		var got server.TopKResponse
+		if err := json.Unmarshal(o.body, &got); err != nil {
+			t.Fatalf("observed body for u=%d: %v", o.u, err)
+		}
+		if got.GraphVersion != o.version {
+			t.Fatalf("body version %d disagrees with header version %d", got.GraphVersion, o.version)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("response for u=%d at version %d diverges from fresh compute:\n got %+v\nwant %+v",
+				o.u, o.version, got, want)
+		}
+	}
+	t.Logf("verified %d observations (%d unique u/version pairs) across %d versions; follower resyncs: %d",
+		len(observations), len(verified), len(versionsSeen), f1b.Resyncs())
+
+	// And the final floor: a read through the router with the last write
+	// token must come back at exactly the final version's scores.
+	for u := 0; u < g.NumNodes(); u += 4 {
+		req, _ := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/topk?u=%d&k=5", routerNode.url, u), nil)
+		req.Header.Set(MinVersionHeader, strconv.FormatUint(finalVersion, 10))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("final floored read u=%d: status %d: %s", u, resp.StatusCode, body)
+		}
+		var got server.TopKResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if want := refTopK(finalVersion, u); !reflect.DeepEqual(got, want) {
+			t.Fatalf("final read u=%d diverges from fresh compute at version %d:\n got %+v\nwant %+v", u, finalVersion, got, want)
+		}
+	}
+}
+
+func jsonDecode(r io.Reader, out any) error {
+	return json.NewDecoder(r).Decode(out)
+}

@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"fsim/internal/dynamic"
+	"fsim/internal/server"
+	"fsim/internal/snapshot"
+)
+
+// FollowerOptions configures a read replica.
+type FollowerOptions struct {
+	// Leader is the leader's base URL (e.g. "http://10.0.0.1:8080").
+	// Required.
+	Leader string
+	// SnapshotPath, when set and the file exists, warm-starts the replica
+	// from a shared snapshot file instead of downloading one from the
+	// leader — the cheap path when replicas share a filesystem with the
+	// leader's checkpoints. The change-log tail covers whatever the file
+	// is behind by.
+	SnapshotPath string
+	// Server configures the embedded HTTP server; Role and ReadyCheck are
+	// overwritten (a follower is always RoleFollower with a lag-gated
+	// readiness probe).
+	Server server.Options
+	// PollInterval is the change-log tailing cadence (default 50ms).
+	PollInterval time.Duration
+	// MaxBackoff caps the exponential backoff after failed polls
+	// (default 2s).
+	MaxBackoff time.Duration
+	// MaxLag is the largest version gap to the leader at which /readyz
+	// still answers ready (default 0: fully caught up as of the last
+	// successful poll).
+	MaxLag uint64
+	// HTTP overrides the leader-facing HTTP client (default
+	// http.DefaultClient).
+	HTTP *http.Client
+	// Logf, when set, receives replication-loop events (re-syncs, backoff
+	// transitions). Silent when nil.
+	Logf func(format string, args ...any)
+}
+
+// Follower is a read replica: it warm-starts from a leader snapshot (over
+// HTTP or from a shared file), then tails GET /changes on a poll loop and
+// applies each version step through its own maintainer — the same
+// incremental path the leader ran, so served scores are bit-identical at
+// every version. The embedded server refuses external writes and gates
+// /readyz on replication lag.
+//
+// Follower is an http.Handler; mount it like a server.Server. On a
+// re-sync (the leader compacted past the replica's version, or the
+// replica detected divergence) the entire embedded server is swapped
+// behind an atomic pointer — in-flight requests drain on the old state
+// while new requests land on the fresh snapshot.
+type Follower struct {
+	opts   FollowerOptions
+	client *leaderClient
+
+	srv atomic.Pointer[server.Server]
+
+	// leaderVersion is the leader's version as of the last successful
+	// poll; synced flips once the first poll lands. Both feed readyCheck.
+	leaderVersion atomic.Uint64
+	synced        atomic.Bool
+	resyncs       atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartFollower builds a replica and starts its replication loop. The
+// initial state comes from opts.SnapshotPath when the file exists,
+// otherwise from the leader's GET /snapshot.
+func StartFollower(ctx context.Context, opts FollowerOptions) (*Follower, error) {
+	if opts.Leader == "" {
+		return nil, errors.New("cluster: FollowerOptions.Leader is required")
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 50 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 2 * time.Second
+	}
+	f := &Follower{
+		opts:   opts,
+		client: newLeaderClient(opts.Leader, opts.HTTP),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+
+	var mt *dynamic.Maintainer
+	var err error
+	if opts.SnapshotPath != "" {
+		if _, statErr := os.Stat(opts.SnapshotPath); statErr == nil {
+			mt, err = snapshot.Load(opts.SnapshotPath)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: warm start from %s: %w", opts.SnapshotPath, err)
+			}
+			f.logf("warm start from shared snapshot %s at version %d", opts.SnapshotPath, mt.Version())
+		}
+	}
+	if mt == nil {
+		mt, err = f.client.snapshot(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: initial snapshot from leader: %w", err)
+		}
+		f.logf("warm start from leader snapshot at version %d", mt.Version())
+	}
+	f.srv.Store(f.newServer(mt))
+
+	go f.replicate()
+	return f, nil
+}
+
+// newServer wraps a maintainer in the replica's HTTP server.
+func (f *Follower) newServer(mt *dynamic.Maintainer) *server.Server {
+	sopts := f.opts.Server
+	sopts.Role = server.RoleFollower
+	sopts.ReadyCheck = f.readyCheck
+	return server.NewFromMaintainer(mt, sopts)
+}
+
+// ServeHTTP delegates to the current embedded server.
+func (f *Follower) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.srv.Load().ServeHTTP(w, r)
+}
+
+// Version is the replica's current graph version.
+func (f *Follower) Version() uint64 {
+	return f.srv.Load().Maintainer().Version()
+}
+
+// LeaderVersion is the leader's version as of the last successful poll.
+func (f *Follower) LeaderVersion() uint64 { return f.leaderVersion.Load() }
+
+// Resyncs counts snapshot re-syncs since start (test/metrics
+// observability).
+func (f *Follower) Resyncs() int64 { return f.resyncs.Load() }
+
+// readyCheck gates /readyz: not ready before the first successful poll,
+// nor while the replica trails the leader by more than MaxLag versions.
+func (f *Follower) readyCheck() (bool, string) {
+	if !f.synced.Load() {
+		return false, "no successful poll against the leader yet"
+	}
+	local, lead := f.Version(), f.leaderVersion.Load()
+	if lead > local && lead-local > f.opts.MaxLag {
+		return false, fmt.Sprintf("replica at version %d, leader at %d (max lag %d)", local, lead, f.opts.MaxLag)
+	}
+	return true, ""
+}
+
+// replicate is the poll loop: tail the leader's change log, apply each
+// version step as its own batch, re-sync from a snapshot when the log has
+// been compacted past us or the version sequence diverges. Failed polls
+// back off exponentially up to MaxBackoff so a dead leader costs a
+// heartbeat, not a busy loop.
+func (f *Follower) replicate() {
+	defer close(f.done)
+	wait := f.opts.PollInterval
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(wait):
+		}
+		if err := f.poll(); err != nil {
+			f.logf("poll: %v", err)
+			wait *= 2
+			if wait > f.opts.MaxBackoff {
+				wait = f.opts.MaxBackoff
+			}
+			continue
+		}
+		wait = f.opts.PollInterval
+	}
+}
+
+// poll runs one tail-and-apply round.
+func (f *Follower) poll() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	mt := f.srv.Load().Maintainer()
+	steps, to, err := f.client.changes(ctx, mt.Version())
+	if errors.Is(err, ErrCompacted) {
+		return f.resync(ctx)
+	}
+	if err != nil {
+		return err
+	}
+	for _, step := range steps {
+		st, applyErr := mt.Apply(step.Changes)
+		if applyErr != nil {
+			// The leader applied this batch; a replica that cannot is
+			// diverged (or raced a re-sync) — rebuild from a snapshot.
+			f.logf("apply of step %d failed (%v); re-syncing", step.Version, applyErr)
+			return f.resync(ctx)
+		}
+		if st.Version != step.Version {
+			f.logf("step landed at version %d, want %d; re-syncing", st.Version, step.Version)
+			return f.resync(ctx)
+		}
+	}
+	f.leaderVersion.Store(to)
+	f.synced.Store(true)
+	return nil
+}
+
+// resync replaces the replica's entire state with a fresh leader
+// snapshot: the new server is swapped in atomically, then the old one
+// drains and closes in the background (its in-flight reads finish on the
+// old state — still version-consistent, just stale).
+func (f *Follower) resync(ctx context.Context) error {
+	mt, err := f.client.snapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("re-sync snapshot: %w", err)
+	}
+	f.resyncs.Add(1)
+	old := f.srv.Swap(f.newServer(mt))
+	f.leaderVersion.Store(mt.Version())
+	f.synced.Store(true)
+	f.logf("re-synced from leader snapshot at version %d", mt.Version())
+	go func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := old.Shutdown(shCtx); err != nil {
+			f.logf("old server shutdown after re-sync: %v", err)
+		}
+	}()
+	return nil
+}
+
+// Close stops the replication loop and shuts the embedded server down.
+func (f *Follower) Close(ctx context.Context) error {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	<-f.done
+	return f.srv.Load().Shutdown(ctx)
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf("cluster: follower: "+format, args...)
+	}
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+	"fsim/internal/server"
+	"fsim/internal/snapshot"
+)
+
+// testOptions pins the iteration budget so scores are bit-identical
+// across leader, replicas, and fresh computes — the contract every test
+// here leans on.
+func testOptions() core.Options {
+	opts := core.DefaultOptions(exact.BJ)
+	opts.Theta = 0.4
+	opts.Threads = 1
+	opts.Epsilon = 1e-300
+	opts.RelativeEps = false
+	opts.MaxIters = 6
+	return opts
+}
+
+// newLeader builds a leader server on a real loopback socket.
+func newLeader(t *testing.T, g *graph.Graph, sopts server.Options) (*server.Server, *httptest.Server) {
+	t.Helper()
+	sopts.Role = server.RoleLeader
+	srv, err := server.New(g, testOptions(), sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Shutdown(context.Background())
+	})
+	return srv, hs
+}
+
+// pausedFollower starts a follower whose poll loop effectively never
+// fires, so tests drive replication deterministically through poll().
+func pausedFollower(t *testing.T, opts FollowerOptions) *Follower {
+	t.Helper()
+	opts.PollInterval = time.Hour
+	f, err := StartFollower(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close(context.Background()) })
+	return f
+}
+
+func applyBatches(t *testing.T, srv *server.Server, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := srv.Maintainer().Apply([]graph.Change{{Op: graph.OpAddNode, Label: "n"}, {Op: graph.OpAddEdge, U: graph.NodeID(i), V: graph.NodeID(i + 2)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func assertSameScores(t *testing.T, leader *server.Server, f *Follower) {
+	t.Helper()
+	if got, want := f.Version(), leader.Maintainer().Version(); got != want {
+		t.Fatalf("follower at version %d, leader at %d", got, want)
+	}
+	n := leader.Maintainer().Graph().NumNodes()
+	for u := 0; u < n; u += 3 {
+		for v := 0; v < n; v += 2 {
+			ls, err := leader.Maintainer().Score(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, err := f.srv.Load().Maintainer().Score(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ls != fs {
+				t.Fatalf("score(%d,%d): follower %v, leader %v", u, v, fs, ls)
+			}
+		}
+	}
+}
+
+// TestFollowerTailsChanges drives one warm start + two polls by hand: the
+// replica applies the leader's version steps and lands on identical
+// versions and scores, with no snapshot re-sync involved.
+func TestFollowerTailsChanges(t *testing.T) {
+	g := dataset.RandomGraph(41, 16, 48, 3)
+	leader, hs := newLeader(t, g, server.Options{})
+	f := pausedFollower(t, FollowerOptions{Leader: hs.URL})
+
+	if f.Version() != 0 {
+		t.Fatalf("warm start at version %d, want 0", f.Version())
+	}
+	applyBatches(t, leader, 3)
+	if err := f.poll(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameScores(t, leader, f)
+	if f.Resyncs() != 0 {
+		t.Fatalf("%d re-syncs during plain tailing", f.Resyncs())
+	}
+	if f.LeaderVersion() != leader.Maintainer().Version() {
+		t.Fatalf("leader version %d, want %d", f.LeaderVersion(), leader.Maintainer().Version())
+	}
+	// An idle poll is a no-op, not an error.
+	if err := f.poll(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameScores(t, leader, f)
+}
+
+// TestFollowerResyncAfterCompaction pins the 410 path: a replica that
+// fell behind the leader's retention horizon rebuilds itself from a full
+// snapshot and converges to identical scores.
+func TestFollowerResyncAfterCompaction(t *testing.T) {
+	g := dataset.RandomGraph(42, 16, 48, 3)
+	leader, hs := newLeader(t, g, server.Options{RetainVersions: 2})
+	f := pausedFollower(t, FollowerOptions{Leader: hs.URL})
+
+	// 5 versions against a 2-version log: the follower's from=0 is gone.
+	applyBatches(t, leader, 5)
+	if err := f.poll(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Resyncs() != 1 {
+		t.Fatalf("%d re-syncs, want exactly 1", f.Resyncs())
+	}
+	assertSameScores(t, leader, f)
+
+	// Back inside the retention window, tailing resumes without another
+	// snapshot.
+	applyBatches(t, leader, 1)
+	if err := f.poll(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Resyncs() != 1 {
+		t.Fatalf("%d re-syncs after catch-up poll, want still 1", f.Resyncs())
+	}
+	assertSameScores(t, leader, f)
+}
+
+// TestFollowerWarmStartFromSharedFile: with a shared snapshot file the
+// replica never downloads a snapshot — it loads the file and covers the
+// rest from the change log.
+func TestFollowerWarmStartFromSharedFile(t *testing.T) {
+	g := dataset.RandomGraph(43, 16, 48, 3)
+	var snapshotHits atomic.Int64
+	leader, err := server.New(g, testOptions(), server.Options{Role: server.RoleLeader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/snapshot" {
+			snapshotHits.Add(1)
+		}
+		leader.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		hs.Close()
+		leader.Shutdown(context.Background())
+	})
+
+	applyBatches(t, leader, 2)
+	path := filepath.Join(t.TempDir(), "leader.fsim")
+	if err := snapshot.Save(leader.Maintainer(), path); err != nil {
+		t.Fatal(err)
+	}
+	// The leader moves on after the file was written; the gap comes from
+	// the change log.
+	applyBatches(t, leader, 2)
+
+	f := pausedFollower(t, FollowerOptions{Leader: hs.URL, SnapshotPath: path})
+	if f.Version() != 2 {
+		t.Fatalf("file warm start at version %d, want 2", f.Version())
+	}
+	if err := f.poll(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameScores(t, leader, f)
+	if n := snapshotHits.Load(); n != 0 {
+		t.Fatalf("%d GET /snapshot requests despite the shared file", n)
+	}
+
+	// A missing file falls back to the HTTP snapshot.
+	f2 := pausedFollower(t, FollowerOptions{Leader: hs.URL, SnapshotPath: filepath.Join(t.TempDir(), "absent.fsim")})
+	if f2.Version() != leader.Maintainer().Version() {
+		t.Fatalf("HTTP warm start at version %d, want %d", f2.Version(), leader.Maintainer().Version())
+	}
+	if n := snapshotHits.Load(); n != 1 {
+		t.Fatalf("%d GET /snapshot requests, want 1", n)
+	}
+}
+
+// TestFollowerReadiness pins the /readyz lag gate end to end on the
+// follower's own handler.
+func TestFollowerReadiness(t *testing.T) {
+	g := dataset.RandomGraph(44, 14, 40, 3)
+	leader, hs := newLeader(t, g, server.Options{})
+	f := pausedFollower(t, FollowerOptions{Leader: hs.URL})
+
+	get := func() int {
+		w := httptest.NewRecorder()
+		f.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		return w.Code
+	}
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before first poll: %d, want 503", code)
+	}
+	if err := f.poll(); err != nil {
+		t.Fatal(err)
+	}
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("readyz after poll: %d, want 200", code)
+	}
+	// The leader advances; the replica (paused) is now lagging beyond
+	// MaxLag=0 — but only the next poll updates its view of the leader,
+	// so readiness flips only after it.
+	applyBatches(t, leader, 1)
+	if err := f.poll(); err != nil {
+		t.Fatal(err)
+	}
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("readyz after catch-up poll: %d, want 200", code)
+	}
+	// Writes are refused on the replica's public surface.
+	w := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/updates", nil)
+	f.ServeHTTP(w, req)
+	if w.Code != http.StatusForbidden {
+		t.Fatalf("follower POST /updates: %d, want 403", w.Code)
+	}
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over named replicas. Each member owns a
+// fixed set of virtual nodes (hash points), so a shard key maps to the
+// first member clockwise from its hash — and adding or losing one member
+// only remaps the keys that hashed into its arcs, not the whole keyspace.
+//
+// Health is a flip, not a membership change: ejecting a replica marks its
+// virtual nodes dead (lookups skip them onto the next member's arcs) but
+// leaves them on the ring, so readmission restores exactly the original
+// placement. That keeps the churn of a flapping replica bounded to its own
+// arcs and makes eject→readmit a no-op for cache locality on the healthy
+// members.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  []vnode         // sorted by hash
+	members map[string]bool // name → healthy
+	per     int             // virtual nodes per member
+}
+
+type vnode struct {
+	hash uint64
+	name string
+}
+
+// DefaultVirtualNodes is the per-member virtual node count: enough points
+// that arc lengths even out across a handful of replicas, cheap enough
+// that lookups stay a binary search over a few hundred entries.
+const DefaultVirtualNodes = 64
+
+// NewRing builds an empty ring with per virtual nodes per member
+// (DefaultVirtualNodes when per <= 0).
+func NewRing(per int) *Ring {
+	if per <= 0 {
+		per = DefaultVirtualNodes
+	}
+	return &Ring{members: make(map[string]bool), per: per}
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	// FNV-1a alone clusters badly on short keys that differ only in a
+	// trailing counter (exactly what vnode labels and "u=<id>" shard keys
+	// look like); a 64-bit avalanche finalizer spreads those runs over
+	// the whole ring.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add places a member's virtual nodes on the ring, initially healthy.
+// Adding an existing member is a no-op (its placement never moves).
+func (r *Ring) Add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[name]; ok {
+		return
+	}
+	r.members[name] = true
+	for i := 0; i < r.per; i++ {
+		r.vnodes = append(r.vnodes, vnode{hash: hashKey(fmt.Sprintf("%s#%d", name, i)), name: name})
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
+}
+
+// SetHealthy flips a member's health bit; it reports whether the bit
+// actually changed (false for unknown members and no-op flips), so
+// callers can count eject/readmit transitions without double counting.
+func (r *Ring) SetHealthy(name string, healthy bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.members[name]
+	if !ok || cur == healthy {
+		return false
+	}
+	r.members[name] = healthy
+	return true
+}
+
+// Healthy reports a member's current health bit.
+func (r *Ring) Healthy(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members[name]
+}
+
+// Members returns every member name in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for name := range r.members {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HealthyCount counts the members currently marked healthy.
+func (r *Ring) HealthyCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, ok := range r.members {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Pick maps a shard key to its owning healthy member. ok is false when no
+// healthy member exists.
+func (r *Ring) Pick(key string) (string, bool) {
+	seq := r.PickN(key, 1)
+	if len(seq) == 0 {
+		return "", false
+	}
+	return seq[0], true
+}
+
+// PickN returns up to n distinct healthy members in failover order: the
+// key's owner first, then the members whose arcs follow clockwise. Every
+// caller with the same key sees the same sequence, so retries after an
+// ejection land deterministically.
+func (r *Ring) PickN(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.vnodes) == 0 || n <= 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	seen := make(map[string]bool, n)
+	var out []string
+	for i := 0; i < len(r.vnodes) && len(out) < n; i++ {
+		vn := r.vnodes[(start+i)%len(r.vnodes)]
+		if seen[vn.name] || !r.members[vn.name] {
+			continue
+		}
+		seen[vn.name] = true
+		out = append(out, vn.name)
+	}
+	return out
+}

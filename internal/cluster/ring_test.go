@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func pickAll(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		m, ok := r.Pick(k)
+		if !ok {
+			out[k] = ""
+			continue
+		}
+		out[k] = m
+	}
+	return out
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("u=%d", i)
+	}
+	return keys
+}
+
+// TestRingPickDeterministic pins the routing invariant: the same key maps
+// to the same member on every lookup, and PickN yields distinct members
+// in a stable failover order.
+func TestRingPickDeterministic(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m)
+	}
+	first, ok := r.Pick("u=42")
+	if !ok {
+		t.Fatal("no member picked")
+	}
+	for i := 0; i < 100; i++ {
+		if got, _ := r.Pick("u=42"); got != first {
+			t.Fatalf("pick %d: %q, want %q", i, got, first)
+		}
+	}
+	seq := r.PickN("u=42", 3)
+	if len(seq) != 3 || seq[0] != first {
+		t.Fatalf("PickN = %v, want 3 distinct starting with %q", seq, first)
+	}
+	seen := map[string]bool{}
+	for _, m := range seq {
+		if seen[m] {
+			t.Fatalf("PickN repeated %q: %v", m, seq)
+		}
+		seen[m] = true
+	}
+	if !reflect.DeepEqual(r.PickN("u=42", 3), seq) {
+		t.Fatal("failover order not stable")
+	}
+	// Re-adding an existing member must not move anything.
+	r.Add("b")
+	if got, _ := r.Pick("u=42"); got != first {
+		t.Fatal("re-Add moved placements")
+	}
+}
+
+// TestRingEjectReadmit pins minimal remapping: ejecting a member moves
+// only its own keys, and readmitting restores the original placement
+// exactly.
+func TestRingEjectReadmit(t *testing.T) {
+	r := NewRing(0)
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m)
+	}
+	keys := testKeys(300)
+	before := pickAll(r, keys)
+
+	if !r.SetHealthy("b", false) {
+		t.Fatal("eject of a healthy member reported no change")
+	}
+	if r.SetHealthy("b", false) {
+		t.Fatal("double eject reported a change")
+	}
+	during := pickAll(r, keys)
+	for _, k := range keys {
+		if before[k] == "b" {
+			if during[k] == "b" || during[k] == "" {
+				t.Fatalf("key %s still on ejected member (%q)", k, during[k])
+			}
+		} else if during[k] != before[k] {
+			t.Fatalf("key %s moved %q→%q though its owner stayed healthy", k, before[k], during[k])
+		}
+	}
+
+	if !r.SetHealthy("b", true) {
+		t.Fatal("readmit reported no change")
+	}
+	if after := pickAll(r, keys); !reflect.DeepEqual(after, before) {
+		t.Fatal("readmission did not restore the original placement")
+	}
+
+	if r.SetHealthy("ghost", true) {
+		t.Fatal("unknown member accepted")
+	}
+}
+
+// TestRingAllEjected: with no healthy member, Pick reports failure rather
+// than routing into the void.
+func TestRingAllEjected(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a")
+	r.Add("b")
+	r.SetHealthy("a", false)
+	r.SetHealthy("b", false)
+	if _, ok := r.Pick("u=1"); ok {
+		t.Fatal("picked from a fully ejected ring")
+	}
+	if r.HealthyCount() != 0 {
+		t.Fatalf("healthy count %d, want 0", r.HealthyCount())
+	}
+	if got := r.PickN("u=1", 2); len(got) != 0 {
+		t.Fatalf("PickN on dead ring = %v", got)
+	}
+}
+
+// TestRingBalance sanity-checks the virtual-node spread: no member owns a
+// wildly disproportionate share of the keyspace.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"r1", "r2", "r3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	keys := testKeys(9000)
+	for _, k := range keys {
+		m, _ := r.Pick(k)
+		counts[m]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.10 {
+			t.Fatalf("member %s owns %.1f%% of keys — virtual nodes not spreading (%v)", m, 100*share, counts)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fsim/internal/stats"
+)
+
+// MinVersionHeader is the request header a client sets to enforce
+// read-your-writes: the router only relays a replica response computed at
+// this graph version or newer. Clients obtain the token from the
+// X-Fsim-Version header of their last write (or read).
+const MinVersionHeader = "X-Fsim-Min-Version"
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Leader is the leader's base URL; POST /updates forwards there.
+	// Required.
+	Leader string
+	// Replicas are the follower base URLs reads shard across. Required
+	// (the leader may be listed too, if it should also serve reads).
+	Replicas []string
+	// VirtualNodes per replica on the hash ring (default
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// HealthInterval is the /readyz polling cadence that ejects and
+	// readmits replicas (default 250ms).
+	HealthInterval time.Duration
+	// RetryWait is the pause before re-asking a healthy-but-lagging
+	// replica to satisfy a read-your-writes floor (default 5ms).
+	RetryWait time.Duration
+	// ReadRetries bounds the total forwarding attempts for one read —
+	// version-floor retries and failovers combined (default 100).
+	ReadRetries int
+	// HTTP overrides the backend-facing client (default
+	// http.DefaultClient).
+	HTTP *http.Client
+	// Logf, when set, receives ejection/readmission events.
+	Logf func(format string, args ...any)
+}
+
+// Router is the cluster's front door: an http.Handler that consistent-
+// hashes reads across follower replicas by the query node `u` (so each
+// user's working set concentrates on one replica's caches), forwards
+// writes to the leader, and enforces read-your-writes via version-stamped
+// retries. A background probe loop ejects replicas whose /readyz fails and
+// readmits them when it recovers; ejected replicas keep their ring
+// placement, so a bounced follower returns to exactly the keys it served
+// before.
+type Router struct {
+	opts RouterOptions
+	ring *Ring
+	hc   *http.Client
+
+	reads, writes       stats.Counter
+	staleRetries        stats.Counter
+	failovers           stats.Counter
+	ejections, readmits stats.Counter
+	exhausted           stats.Counter
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRouter validates opts, marks every replica healthy, and starts the
+// health probe loop. Close stops it.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if opts.Leader == "" {
+		return nil, errors.New("cluster: RouterOptions.Leader is required")
+	}
+	if len(opts.Replicas) == 0 {
+		return nil, errors.New("cluster: RouterOptions.Replicas is empty")
+	}
+	if opts.HealthInterval <= 0 {
+		opts.HealthInterval = 250 * time.Millisecond
+	}
+	if opts.RetryWait <= 0 {
+		opts.RetryWait = 5 * time.Millisecond
+	}
+	if opts.ReadRetries <= 0 {
+		opts.ReadRetries = 100
+	}
+	if opts.HTTP == nil {
+		opts.HTTP = http.DefaultClient
+	}
+	rt := &Router{
+		opts: opts,
+		ring: NewRing(opts.VirtualNodes),
+		hc:   opts.HTTP,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, rep := range opts.Replicas {
+		rt.ring.Add(rep)
+	}
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Close stops the health probe loop.
+func (rt *Router) Close() {
+	select {
+	case <-rt.stop:
+	default:
+		close(rt.stop)
+	}
+	<-rt.done
+}
+
+// Ring exposes the router's hash ring (test and operational
+// observability).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// ServeHTTP routes reads to replicas and writes to the leader.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/topk", "/query":
+		rt.handleRead(w, r)
+	case "/updates":
+		rt.handleWrite(w, r)
+	case "/healthz", "/readyz":
+		rt.handleHealth(w, r)
+	case "/stats":
+		rt.handleStats(w, r)
+	default:
+		writeRouterJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no such endpoint %q", r.URL.Path)})
+	}
+}
+
+// handleRead shards by the `u` query parameter and forwards, honoring the
+// client's read-your-writes floor: a response stamped older than
+// MinVersionHeader is never relayed — the router waits for the replica to
+// catch up (bounded by ReadRetries) and fails over past ejected replicas.
+func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
+	rt.reads.Inc()
+	minVersion := uint64(0)
+	if raw := r.Header.Get(MinVersionHeader); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeRouterJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad %s header %q", MinVersionHeader, raw)})
+			return
+		}
+		minVersion = v
+	}
+
+	key := "u=" + r.URL.Query().Get("u")
+	budget := rt.opts.ReadRetries
+	var lastErr string
+	for budget > 0 {
+		candidates := rt.ring.PickN(key, len(rt.opts.Replicas))
+		if len(candidates) == 0 {
+			break
+		}
+		advanced := false
+		for _, replica := range candidates {
+			again, relayed := rt.tryReplica(w, r, replica, minVersion, &budget, &lastErr)
+			if relayed {
+				return
+			}
+			if again {
+				advanced = true // replica was healthy but lagging; loop re-picks
+				break
+			}
+			// Forwarding failed hard: the replica was ejected; try the
+			// next candidate.
+		}
+		if !advanced && rt.ring.HealthyCount() == 0 {
+			break
+		}
+	}
+	rt.exhausted.Inc()
+	msg := "no replica could satisfy the read"
+	if lastErr != "" {
+		msg += ": " + lastErr
+	}
+	writeRouterJSON(w, http.StatusServiceUnavailable, map[string]string{"error": msg})
+}
+
+// tryReplica forwards one read. relayed means a response was written;
+// retry means the replica is healthy but hasn't reached the version floor
+// yet (the caller should wait and re-pick); neither means the replica was
+// ejected and the next candidate should be tried.
+func (rt *Router) tryReplica(w http.ResponseWriter, r *http.Request, replica string, minVersion uint64, budget *int, lastErr *string) (retry, relayed bool) {
+	for *budget > 0 {
+		*budget--
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, replica+r.URL.RequestURI(), nil)
+		if err != nil {
+			*lastErr = err.Error()
+			return false, false
+		}
+		resp, err := rt.hc.Do(req)
+		if err != nil {
+			*lastErr = err.Error()
+			rt.eject(replica, err.Error())
+			rt.failovers.Inc()
+			return false, false
+		}
+		if resp.StatusCode >= 500 {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			resp.Body.Close()
+			*lastErr = fmt.Sprintf("%s: status %d: %s", replica, resp.StatusCode, body)
+			rt.eject(replica, *lastErr)
+			rt.failovers.Inc()
+			return false, false
+		}
+		version, versionOK := uint64(0), false
+		if raw := resp.Header.Get("X-Fsim-Version"); raw != "" {
+			if v, perr := strconv.ParseUint(raw, 10, 64); perr == nil {
+				version, versionOK = v, true
+			}
+		}
+		stale := minVersion > 0 &&
+			(versionOK && version < minVersion ||
+				// 4xx bodies carry no version stamp; under a version floor
+				// a client error may just mean "this node doesn't exist
+				// here yet", so wait for the floor before trusting it.
+				!versionOK && resp.StatusCode >= 400)
+		if stale {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rt.staleRetries.Inc()
+			*lastErr = fmt.Sprintf("%s behind read floor %d", replica, minVersion)
+			select {
+			case <-rt.stop:
+				return false, false
+			case <-r.Context().Done():
+				return false, false
+			case <-time.After(rt.opts.RetryWait):
+			}
+			continue
+		}
+		relayResponse(w, resp)
+		return false, true
+	}
+	return true, false
+}
+
+// handleWrite forwards the batch to the leader verbatim and relays its
+// response — including the X-Fsim-Version header clients use as their
+// read-your-writes token.
+func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
+	rt.writes.Inc()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeRouterJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, rt.opts.Leader+"/updates", r.Body)
+	if err != nil {
+		writeRouterJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		writeRouterJSON(w, http.StatusBadGateway, map[string]string{"error": fmt.Sprintf("leader unreachable: %v", err)})
+		return
+	}
+	relayResponse(w, resp)
+}
+
+// RouterHealthResponse is the router's /healthz and /readyz body.
+type RouterHealthResponse struct {
+	Status          string          `json:"status"`
+	HealthyReplicas int             `json:"healthyReplicas"`
+	Replicas        map[string]bool `json:"replicas"`
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	replicas := make(map[string]bool)
+	for _, name := range rt.ring.Members() {
+		replicas[name] = rt.ring.Healthy(name)
+	}
+	resp := RouterHealthResponse{Status: "ok", HealthyReplicas: rt.ring.HealthyCount(), Replicas: replicas}
+	code := http.StatusOK
+	// /readyz additionally requires at least one replica to route to;
+	// /healthz is pure liveness.
+	if r.URL.Path == "/readyz" && resp.HealthyReplicas == 0 {
+		resp.Status = "no healthy replicas"
+		code = http.StatusServiceUnavailable
+	}
+	writeRouterJSON(w, code, resp)
+}
+
+// RouterStatsResponse is the router's /stats body.
+type RouterStatsResponse struct {
+	Reads           int64           `json:"reads"`
+	Writes          int64           `json:"writes"`
+	StaleRetries    int64           `json:"staleRetries"`
+	Failovers       int64           `json:"failovers"`
+	Ejections       int64           `json:"ejections"`
+	Readmissions    int64           `json:"readmissions"`
+	ExhaustedReads  int64           `json:"exhaustedReads"`
+	HealthyReplicas int             `json:"healthyReplicas"`
+	Replicas        map[string]bool `json:"replicas"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	replicas := make(map[string]bool)
+	for _, name := range rt.ring.Members() {
+		replicas[name] = rt.ring.Healthy(name)
+	}
+	writeRouterJSON(w, http.StatusOK, RouterStatsResponse{
+		Reads:           rt.reads.Value(),
+		Writes:          rt.writes.Value(),
+		StaleRetries:    rt.staleRetries.Value(),
+		Failovers:       rt.failovers.Value(),
+		Ejections:       rt.ejections.Value(),
+		Readmissions:    rt.readmits.Value(),
+		ExhaustedReads:  rt.exhausted.Value(),
+		HealthyReplicas: rt.ring.HealthyCount(),
+		Replicas:        replicas,
+	})
+}
+
+// probeLoop polls every replica's /readyz and flips ring health bits.
+func (rt *Router) probeLoop() {
+	defer close(rt.done)
+	ticker := time.NewTicker(rt.opts.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+		}
+		for _, replica := range rt.ring.Members() {
+			if rt.probe(replica) {
+				if rt.ring.SetHealthy(replica, true) {
+					rt.readmits.Inc()
+					rt.logf("readmitted %s", replica)
+				}
+			} else {
+				rt.eject(replica, "readiness probe failed")
+			}
+		}
+	}
+}
+
+// probe runs one /readyz check.
+func (rt *Router) probe(replica string) bool {
+	req, err := http.NewRequest(http.MethodGet, replica+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+func (rt *Router) eject(replica, why string) {
+	if rt.ring.SetHealthy(replica, false) {
+		rt.ejections.Inc()
+		rt.logf("ejected %s: %s", replica, why)
+	}
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.opts.Logf != nil {
+		rt.opts.Logf("cluster: router: "+format, args...)
+	}
+}

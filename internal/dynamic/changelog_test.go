@@ -1,0 +1,183 @@
+package dynamic
+
+import (
+	"errors"
+	"testing"
+
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+)
+
+func logTestOptions() core.Options {
+	opts := core.DefaultOptions(exact.BJ)
+	opts.Theta = 0.4
+	opts.Threads = 1
+	opts.Epsilon = 1e-300
+	opts.RelativeEps = false
+	opts.MaxIters = 6
+	return opts
+}
+
+func newLogMaintainer(t *testing.T) *Maintainer {
+	t.Helper()
+	g := dataset.RandomGraph(7, 14, 40, 3)
+	mt, err := New(g, logTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mt
+}
+
+// TestChangeLogTailing pins the tentpole contract: every effective Apply
+// retains exactly one version step holding the batch's effective changes,
+// and replaying the steps returned by ChangesSince through a second
+// maintainer reproduces the leader's version and scores bit for bit.
+func TestChangeLogTailing(t *testing.T) {
+	leader := newLogMaintainer(t)
+	if err := leader.RetainChanges(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	follower, err := New(leader.Graph(), logTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batches := [][]graph.Change{
+		{{Op: graph.OpAddEdge, U: 0, V: 5}, {Op: graph.OpAddEdge, U: 5, V: 2}},
+		{{Op: graph.OpAddNode, Label: "fresh"}, {Op: graph.OpAddEdge, U: 1, V: 3}},
+		{{Op: graph.OpRemoveEdge, U: 0, V: 5}},
+		// A no-op batch: removing an absent edge must not create a step.
+		{{Op: graph.OpRemoveEdge, U: 0, V: 5}},
+		{{Op: graph.OpAddEdge, U: 2, V: 6}},
+	}
+	wantSteps := 0
+	for _, b := range batches {
+		st, err := leader.Apply(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Applied > 0 {
+			wantSteps++
+		}
+	}
+	if ls := leader.LogStats(); ls.Versions != wantSteps || ls.OldestVersion != 1 {
+		t.Fatalf("log stats %+v, want %d steps from version 1", ls, wantSteps)
+	}
+
+	steps, current, err := leader.ChangesSince(follower.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if current != leader.Version() || len(steps) != wantSteps {
+		t.Fatalf("ChangesSince(0) = %d steps to %d, want %d steps to %d", len(steps), current, wantSteps, leader.Version())
+	}
+	for _, step := range steps {
+		st, err := follower.Apply(step.Changes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Version != step.Version {
+			t.Fatalf("replayed step landed at version %d, want %d", st.Version, step.Version)
+		}
+	}
+	if follower.Version() != leader.Version() {
+		t.Fatalf("follower at version %d, leader at %d", follower.Version(), leader.Version())
+	}
+	n := leader.Graph().NumNodes()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			ls, err := leader.Score(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, err := follower.Score(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ls != fs {
+				t.Fatalf("score(%d,%d): follower %v, leader %v — replication diverged", u, v, fs, ls)
+			}
+		}
+	}
+
+	// Caught up: an empty tail at the current version.
+	steps, current, err = leader.ChangesSince(leader.Version())
+	if err != nil || len(steps) != 0 || current != leader.Version() {
+		t.Fatalf("caught-up tail = (%d steps, %d, %v), want (0, %d, nil)", len(steps), current, err, leader.Version())
+	}
+	// A version from the future is an explicit error, not a silent empty tail.
+	if _, _, err := leader.ChangesSince(leader.Version() + 3); err == nil {
+		t.Fatal("ChangesSince(future) succeeded, want error")
+	}
+}
+
+// TestChangeLogCompaction pins the bounded-retention contract: the log
+// keeps at most maxVersions steps, ChangesSince past the horizon returns
+// ErrLogCompacted, and the horizon itself stays servable.
+func TestChangeLogCompaction(t *testing.T) {
+	mt := newLogMaintainer(t)
+	if err := mt.RetainChanges(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := mt.Apply([]graph.Change{{Op: graph.OpAddNode, Label: "n"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls := mt.LogStats()
+	if ls.Versions != 3 || ls.OldestVersion != 4 {
+		t.Fatalf("log stats %+v, want 3 steps from version 4", ls)
+	}
+	if _, _, err := mt.ChangesSince(2); !errors.Is(err, ErrLogCompacted) {
+		t.Fatalf("ChangesSince(2) err = %v, want ErrLogCompacted", err)
+	}
+	// Version 3 is the horizon: step 4 is the oldest retained.
+	steps, current, err := mt.ChangesSince(3)
+	if err != nil || len(steps) != 3 || current != 6 || steps[0].Version != 4 {
+		t.Fatalf("ChangesSince(3) = (%d steps, %d, %v), want 3 steps 4..6", len(steps), current, err)
+	}
+
+	// Re-bounding live compacts further but never below one step.
+	if err := mt.RetainChanges(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ls := mt.LogStats(); ls.Versions != 1 || ls.OldestVersion != 6 {
+		t.Fatalf("re-bounded log stats %+v, want 1 step at version 6", ls)
+	}
+}
+
+// TestChangeLogChangeBound compacts on total retained changes, not only on
+// version steps, and a behind-the-horizon reader on a retention-disabled
+// maintainer is told to snapshot-sync.
+func TestChangeLogChangeBound(t *testing.T) {
+	mt := newLogMaintainer(t)
+	if err := mt.RetainChanges(100, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := mt.Apply([]graph.Change{
+			{Op: graph.OpAddNode, Label: "a"},
+			{Op: graph.OpAddNode, Label: "b"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each step carries 2 changes; a 3-change budget holds one full step
+	// (plus the always-retained newest).
+	if ls := mt.LogStats(); ls.Versions != 1 || ls.Changes != 2 {
+		t.Fatalf("log stats %+v, want 1 step of 2 changes", ls)
+	}
+	if err := mt.RetainChanges(-1, 0); err == nil {
+		t.Fatal("negative retention accepted")
+	}
+
+	plain := newLogMaintainer(t)
+	if _, err := plain.Apply([]graph.Change{{Op: graph.OpAddNode, Label: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := plain.ChangesSince(0); !errors.Is(err, ErrLogCompacted) {
+		t.Fatalf("retention-disabled tail err = %v, want ErrLogCompacted", err)
+	}
+}

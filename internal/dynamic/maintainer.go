@@ -118,6 +118,9 @@ type Maintainer struct {
 	cs    *core.CandidateSet
 	ix    *query.Index
 	store *scoreStore
+	// log, when non-nil, retains applied change batches per version for
+	// change-log replication (see RetainChanges / ChangesSince).
+	log *changeLog
 	// onApply, when set, observes every effective Apply (see SetApplyHook).
 	onApply func(version uint64, st Stats)
 	closed  bool
@@ -297,7 +300,7 @@ func (mt *Maintainer) applyLocked(changes []graph.Change) (Stats, error) {
 		st.Duration = time.Since(start)
 		return st, nil
 	}
-	mt.m.TakeLog()
+	applied := mt.m.TakeLog()
 	g := mt.m.Snapshot()
 	touchedList := make([]graph.NodeID, 0, len(touched))
 	for u := range touched {
@@ -311,6 +314,7 @@ func (mt *Maintainer) applyLocked(changes []graph.Change) (Stats, error) {
 		}
 		mt.g = g
 		mt.snap.Store(g)
+		mt.retainLocked(applied)
 		st.Full, st.Rebuilt = true, true
 		st.Duration = time.Since(start)
 		return st, nil
@@ -320,6 +324,7 @@ func (mt *Maintainer) applyLocked(changes []graph.Change) (Stats, error) {
 	}
 	mt.g = g
 	mt.snap.Store(g)
+	mt.retainLocked(applied)
 	mt.store.remap(delta)
 
 	seeds := mt.seedPairs(touchedList, oldN, delta)

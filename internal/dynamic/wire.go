@@ -1,0 +1,99 @@
+package dynamic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fsim/internal/graph"
+)
+
+// The replication wire format for GET /changes responses is the plain
+// update-stream text format with one structured comment per version step:
+//
+//	# version 7
+//	+e 0 5
+//	+n label
+//	# version 8
+//	-e 2 3
+//
+// Plain graph.ReadChanges skips the markers and yields the flat change
+// list; ReadChangeStream preserves the version boundaries a follower needs
+// to apply each step as its own batch (one Apply per step keeps the
+// replica's version sequence aligned with the leader's).
+
+// versionMarker prefixes a step boundary comment.
+const versionMarker = "# version "
+
+// WriteChangeStream renders version steps in the replication wire format.
+func WriteChangeStream(w io.Writer, steps []VersionedChanges) error {
+	bw := bufio.NewWriter(w)
+	for _, step := range steps {
+		if _, err := fmt.Fprintf(bw, "%s%d\n", versionMarker, step.Version); err != nil {
+			return err
+		}
+		for _, c := range step.Changes {
+			if _, err := fmt.Fprintln(bw, c.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadChangeStream parses the replication wire format back into version
+// steps. Unmarked comments and blank lines are skipped like in
+// graph.ReadChanges; a change line before the first version marker, a
+// non-ascending version sequence, or an empty step is rejected — each
+// indicates a truncated or corrupted replication response.
+func ReadChangeStream(r io.Reader) ([]VersionedChanges, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var steps []VersionedChanges
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest, ok := strings.CutPrefix(line, versionMarker)
+			if !ok {
+				continue // ordinary comment
+			}
+			v, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dynamic: line %d: bad version marker %q: %v", lineNo, line, err)
+			}
+			if len(steps) > 0 {
+				last := &steps[len(steps)-1]
+				if len(last.Changes) == 0 {
+					return nil, fmt.Errorf("dynamic: line %d: version %d carries no changes", lineNo, last.Version)
+				}
+				if v != last.Version+1 {
+					return nil, fmt.Errorf("dynamic: line %d: version %d does not follow %d", lineNo, v, last.Version)
+				}
+			}
+			steps = append(steps, VersionedChanges{Version: v})
+			continue
+		}
+		c, err := graph.ParseChange(line)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: line %d: %w", lineNo, err)
+		}
+		if len(steps) == 0 {
+			return nil, fmt.Errorf("dynamic: line %d: change before the first version marker", lineNo)
+		}
+		steps[len(steps)-1].Changes = append(steps[len(steps)-1].Changes, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(steps) > 0 && len(steps[len(steps)-1].Changes) == 0 {
+		return nil, fmt.Errorf("dynamic: version %d carries no changes (truncated stream?)", steps[len(steps)-1].Version)
+	}
+	return steps, nil
+}

@@ -1,0 +1,443 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsim/internal/cluster"
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+	"fsim/internal/server"
+	"fsim/internal/stats"
+)
+
+// clusterLoad aggregates one mixed read/write pass against a serving
+// topology reached over real loopback HTTP.
+type clusterLoad struct {
+	// Topology is "single" (one process, reads hit it directly) or
+	// "cluster" (reads go through the router, writes forward to the
+	// leader and replicate to the followers).
+	Topology string `json:"topology"`
+	Requests int    `json:"requests"`
+	// UpdateBatches/UpdateChanges is the write traffic interleaved at
+	// fixed points of the read workload (identical across topologies).
+	UpdateBatches int     `json:"update_batches"`
+	UpdateChanges int     `json:"update_changes"`
+	Seconds       float64 `json:"seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	MaxLatencyMs  float64 `json:"max_latency_ms"`
+}
+
+// lagStats summarizes the replication-lag distribution: for every update
+// batch written through the router, the time from the write's 200 (the
+// version is live on the leader) until each follower serves that version.
+type lagStats struct {
+	Samples int     `json:"samples"`
+	MeanMs  float64 `json:"mean_ms"`
+	P50Ms   float64 `json:"p50_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// clusterReport is the BENCH_cluster.json document.
+type clusterReport struct {
+	Dataset  string `json:"dataset"`
+	Variant  string `json:"variant"`
+	MaxIters int    `json:"max_iters"`
+	// Transport: every request crosses a real loopback socket (httptest
+	// servers), so the numbers include the HTTP stack — and the cluster
+	// topology pays one extra hop per read (client → router → replica).
+	Transport string `json:"transport"`
+	// NumCPU is the honesty denominator: leader, followers and router all
+	// share this one machine's cores, so the cluster's aggregate
+	// throughput measures the serving stack under replication, not the
+	// capacity of added hardware. Production replicas on separate
+	// machines add real capacity; this benchmark cannot.
+	NumCPU             int           `json:"num_cpu"`
+	Followers          int           `json:"followers"`
+	Nodes              int           `json:"nodes"`
+	Edges              int           `json:"edges"`
+	PollMs             float64       `json:"poll_interval_ms"`
+	Loads              []clusterLoad `json:"loads"`
+	ThroughputVsSingle float64       `json:"throughput_vs_single"`
+	ReplicationLag     lagStats      `json:"replication_lag"`
+	// ResyncMs is the wall-clock for a killed follower to rejoin: fetch
+	// the leader's snapshot over HTTP, load it, and report the leader's
+	// current version — the same path a 410 Gone (compacted log) forces.
+	ResyncMs      float64 `json:"resync_ms"`
+	ResyncVersion uint64  `json:"resync_version"`
+}
+
+// Cluster load-tests the replicated serving tier over real loopback
+// sockets: a leader, N followers tailing its change log, and a router
+// consistent-hashing reads across them, measured against a single-process
+// server absorbing the identical mixed workload. Concurrent clients issue
+// Zipf-skewed /topk reads (plus a sprinkle of /query) while a writer posts
+// update batches at fixed points of the read progress; every write through
+// the router also samples replication lag — the time until each follower
+// serves the written version. After the load, one follower is killed and
+// restarted to time the snapshot re-sync path. All processes share one
+// machine's CPUs (NumCPU is recorded in the report), so the comparison
+// isolates the cost of the replication stack — the extra router hop and
+// the change-log tailing — not the capacity gain of real added hardware.
+// Writes BENCH_cluster.json (in Config.JSONDir, default the working
+// directory).
+func Cluster(cfg Config) error {
+	variant := exact.BJ
+	opts := core.DefaultOptions(variant)
+	opts.Threads = cfg.Threads
+	opts.Epsilon = 1e-300 // unreachable: every computation runs exactly MaxIters rounds
+	opts.RelativeEps = false
+	opts.MaxIters = 12
+	opts.Theta = 0.6
+	opts.UpperBoundOpt = &core.UpperBound{Alpha: 0.3, Beta: 0.5}
+
+	scale, followers, clients, reads, batches, batchSize, hot := 90, 2, 16, 300, 6, 4, 32
+	pollInterval := 5 * time.Millisecond
+	if cfg.Quick {
+		scale, clients, reads, batches, batchSize, hot = 240, 4, 20, 2, 2, 8
+	}
+
+	spec := dataset.MustPaperSpec("NELL", scale)
+	spec.Seed += cfg.Seed
+	g := spec.Generate()
+
+	// Pre-generate the update batches once so both topologies absorb the
+	// identical write stream.
+	stream := &updateStream{rng: rand.New(rand.NewSource(23 + cfg.Seed)), m: graph.MutableOf(g)}
+	allBatches := make([][]graph.Change, batches+1) // +1: the post-kill batch for the re-sync phase
+	for b := range allBatches {
+		allBatches[b] = make([]graph.Change, batchSize)
+		for i := range allBatches[b] {
+			allBatches[b][i] = stream.next()
+			if _, err := stream.m.Apply(allBatches[b][i]); err != nil {
+				return err
+			}
+		}
+	}
+	loadBatches := allBatches[:batches]
+
+	report := clusterReport{
+		Dataset: "NELL stand-in", Variant: variant.String(), MaxIters: opts.MaxIters,
+		Transport: "HTTP over loopback sockets",
+		NumCPU:    runtime.NumCPU(), Followers: followers,
+		Nodes: g.NumNodes(), Edges: g.NumEdges(),
+		PollMs: float64(pollInterval) / float64(time.Millisecond),
+	}
+
+	httpClient := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients + 4}}
+
+	// Single-process baseline: one server, reads hit it directly.
+	single, err := server.New(g, opts, server.Options{MaxInFlight: -1})
+	if err != nil {
+		return err
+	}
+	singleTS := httptest.NewServer(single)
+	singleLoad, err := runClusterLoad(singleTS.URL, httpClient, clients, reads, hot, g.NumNodes(), loadBatches, nil)
+	singleTS.Close()
+	if err != nil {
+		return err
+	}
+	singleLoad.Topology = "single"
+	report.Loads = append(report.Loads, singleLoad)
+
+	// The replicated tier: leader + followers + router, every hop a real
+	// loopback socket.
+	// MaxInFlight -1 everywhere: the experiment measures throughput, and
+	// on a shared-CPU runner the default admission limit would answer part
+	// of the load with 429 instead of serving it.
+	leader, err := server.New(g, opts, server.Options{Role: server.RoleLeader, MaxInFlight: -1})
+	if err != nil {
+		return err
+	}
+	leaderTS := httptest.NewServer(leader)
+	defer leaderTS.Close()
+
+	type replica struct {
+		f  *cluster.Follower
+		ts *httptest.Server
+	}
+	fleet := make([]replica, followers)
+	var replicaURLs []string
+	for i := range fleet {
+		f, err := cluster.StartFollower(context.Background(), cluster.FollowerOptions{
+			Leader:       leaderTS.URL,
+			PollInterval: pollInterval,
+			Server:       server.Options{MaxInFlight: -1},
+			HTTP:         httpClient,
+		})
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(f)
+		fleet[i] = replica{f: f, ts: ts}
+		replicaURLs = append(replicaURLs, ts.URL)
+		defer func(r replica) { r.ts.Close(); r.f.Close(context.Background()) }(fleet[i])
+	}
+
+	router, err := cluster.NewRouter(cluster.RouterOptions{
+		Leader:         leaderTS.URL,
+		Replicas:       replicaURLs,
+		HealthInterval: 20 * time.Millisecond,
+		RetryWait:      time.Millisecond,
+		HTTP:           httpClient,
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	routerTS := httptest.NewServer(router)
+	defer routerTS.Close()
+	for router.Ring().HealthyCount() < followers {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Every write samples replication lag: spin until each follower
+	// serves the written version.
+	var lagMu sync.Mutex
+	var lagMs []float64
+	onWrite := func(version uint64, wrote time.Time) {
+		for _, r := range fleet {
+			for r.f.Version() < version {
+				time.Sleep(200 * time.Microsecond)
+			}
+			lagMu.Lock()
+			lagMs = append(lagMs, float64(time.Since(wrote))/float64(time.Millisecond))
+			lagMu.Unlock()
+		}
+	}
+	clusterLoadRun, err := runClusterLoad(routerTS.URL, httpClient, clients, reads, hot, g.NumNodes(), loadBatches, onWrite)
+	if err != nil {
+		return err
+	}
+	clusterLoadRun.Topology = "cluster"
+	report.Loads = append(report.Loads, clusterLoadRun)
+	if singleLoad.ThroughputRPS > 0 {
+		report.ThroughputVsSingle = clusterLoadRun.ThroughputRPS / singleLoad.ThroughputRPS
+	}
+	report.ReplicationLag = summarizeLag(lagMs)
+
+	// Re-sync: kill a follower, advance the leader past it, and time a
+	// cold rejoin through the snapshot endpoint up to the leader's
+	// current version.
+	fleet[0].ts.Close()
+	if err := fleet[0].f.Close(context.Background()); err != nil {
+		return err
+	}
+	if _, err := postBatch(httpClient, leaderTS.URL, allBatches[batches]); err != nil {
+		return err
+	}
+	target := leader.Maintainer().Version()
+	t0 := time.Now()
+	reborn, err := cluster.StartFollower(context.Background(), cluster.FollowerOptions{
+		Leader:       leaderTS.URL,
+		PollInterval: pollInterval,
+		Server:       server.Options{MaxInFlight: -1},
+		HTTP:         httpClient,
+	})
+	if err != nil {
+		return err
+	}
+	for reborn.Version() < target {
+		time.Sleep(200 * time.Microsecond)
+	}
+	report.ResyncMs = float64(time.Since(t0)) / float64(time.Millisecond)
+	report.ResyncVersion = reborn.Version()
+	if err := reborn.Close(context.Background()); err != nil {
+		return err
+	}
+
+	tab := &table{headers: []string{"topology", "requests", "updates", "throughput", "mean latency", "vs single"}}
+	for _, l := range report.Loads {
+		vs := "-"
+		if l.Topology == "cluster" && report.ThroughputVsSingle > 0 {
+			vs = fmt.Sprintf("%.2fx", report.ThroughputVsSingle)
+		}
+		tab.add(l.Topology, fmt.Sprint(l.Requests), fmt.Sprint(l.UpdateChanges),
+			fmt.Sprintf("%.0f req/s", l.ThroughputRPS),
+			fmt.Sprintf("%.3fms", l.MeanLatencyMs), vs)
+	}
+	tab.write(cfg.out())
+	fmt.Fprintf(cfg.out(), "replication lag: mean %.2fms p50 %.2fms max %.2fms over %d samples; re-sync to v%d in %.1fms (NumCPU=%d, shared)\n",
+		report.ReplicationLag.MeanMs, report.ReplicationLag.P50Ms, report.ReplicationLag.MaxMs,
+		report.ReplicationLag.Samples, report.ResyncVersion, report.ResyncMs, report.NumCPU)
+
+	dir := cfg.JSONDir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_cluster.json")
+	data, err := json.MarshalIndent(report, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out(), "wrote %s\n", path)
+	return nil
+}
+
+// runClusterLoad drives one mixed workload against baseURL over real HTTP:
+// `clients` goroutines each issue `reads` requests — 95% /topk against a
+// hot working set with Zipf-skewed popularity, 5% /query over distinct hot
+// pairs — while a writer posts the prepared batches at evenly spaced
+// points of the read progress. onWrite (optional) receives each write's
+// version token and completion time, for replication-lag sampling.
+func runClusterLoad(baseURL string, client *http.Client, clients, reads, hot, n int, batches [][]graph.Change, onWrite func(uint64, time.Time)) (clusterLoad, error) {
+	total := clients * reads
+	var done atomic.Int64
+	var lat stats.Latency
+	errCh := make(chan error, clients+1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	fail := func(err error) {
+		errCh <- err
+		stopOnce.Do(func() { close(stop) })
+	}
+
+	start := time.Now()
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		for b, batch := range batches {
+			threshold := int64((b + 1) * total / (len(batches) + 1))
+			for done.Load() < threshold {
+				select {
+				case <-stop:
+					return
+				default:
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+			version, err := postBatch(client, baseURL, batch)
+			if err != nil {
+				fail(fmt.Errorf("cluster: updates batch %d: %w", b, err))
+				return
+			}
+			if onWrite != nil {
+				onWrite(version, time.Now())
+			}
+		}
+	}()
+
+	if hot > n {
+		hot = n
+	}
+	hotNodes := make([]int, hot)
+	for i := range hotNodes {
+		hotNodes[i] = i * (n / hot)
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(9000 + c)))
+			hotZipf := rand.NewZipf(rng, 1.3, 1, uint64(hot-1))
+			for j := 0; j < reads; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				target := fmt.Sprintf("%s/topk?u=%d&k=10", baseURL, hotNodes[hotZipf.Uint64()])
+				if j%20 == 19 {
+					u := hotNodes[hotZipf.Uint64()]
+					v := u
+					for v == u && hot > 1 {
+						v = hotNodes[hotZipf.Uint64()]
+					}
+					target = fmt.Sprintf("%s/query?u=%d&v=%d", baseURL, u, v)
+				}
+				t0 := time.Now()
+				resp, err := client.Get(target)
+				if err != nil {
+					fail(fmt.Errorf("cluster: %s: %w", target, err))
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat.Observe(time.Since(t0))
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("cluster: %s: status %d", target, resp.StatusCode))
+					return
+				}
+				done.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return clusterLoad{}, err
+	}
+
+	updates := 0
+	for _, b := range batches {
+		updates += len(b)
+	}
+	return clusterLoad{
+		Requests:      total,
+		UpdateBatches: len(batches),
+		UpdateChanges: updates,
+		Seconds:       elapsed.Seconds(),
+		ThroughputRPS: float64(total) / elapsed.Seconds(),
+		MeanLatencyMs: float64(lat.Mean()) / float64(time.Millisecond),
+		MaxLatencyMs:  float64(lat.Max()) / float64(time.Millisecond),
+	}, nil
+}
+
+// postBatch writes one update batch to baseURL's /updates and returns the
+// version token from the response's X-Fsim-Version header — the
+// read-your-writes floor the replication-lag sampler waits on.
+func postBatch(client *http.Client, baseURL string, batch []graph.Change) (uint64, error) {
+	var lines []string
+	for _, c := range batch {
+		lines = append(lines, c.String())
+	}
+	resp, err := client.Post(baseURL+"/updates", "text/plain",
+		strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		return 0, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return strconv.ParseUint(resp.Header.Get(server.VersionHeader), 10, 64)
+}
+
+// summarizeLag reduces the per-(batch, follower) lag samples to the
+// distribution the report carries.
+func summarizeLag(ms []float64) lagStats {
+	if len(ms) == 0 {
+		return lagStats{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	return lagStats{
+		Samples: len(sorted),
+		MeanMs:  stats.Mean(sorted),
+		P50Ms:   sorted[len(sorted)/2],
+		MaxMs:   sorted[len(sorted)-1],
+	}
+}

@@ -73,6 +73,7 @@ func Registry() []struct {
 		{"snapshot", "binary snapshot warm start vs cold text-parse + Compute", Snapshot},
 		{"scale", "nodes × edges × threads sweep: dynamic chunk queue speedup and determinism", Scale},
 		{"compress", "quotient compression across label skew: candidate reduction and bit-parity", Compress},
+		{"cluster", "replicated serving tier over loopback sockets: router throughput, replication lag, re-sync time", Cluster},
 	}
 }
 

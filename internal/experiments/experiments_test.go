@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the evaluation section must be present,
 	// plus the repo's own delta-convergence and top-k query benchmarks.
 	want := []string{"table2", "table5", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta", "topk", "dynamic", "serve", "snapshot", "scale", "compress"}
+		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta", "topk", "dynamic", "serve", "snapshot", "scale", "compress", "cluster"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -510,6 +510,78 @@ func TestSnapshotExperiment(t *testing.T) {
 		}
 	}
 	if !strings.Contains(buf.String(), "BENCH_snapshot.json") {
+		t.Fatal("experiment did not report the artifact path")
+	}
+}
+
+// TestClusterExperiment runs the replicated-tier load test at smoke size
+// and validates the BENCH_cluster.json artifact: both topologies absorb
+// the identical workload over real loopback sockets, every write's
+// replication lag is sampled on every follower, and the killed follower
+// re-syncs to the leader's final version.
+func TestClusterExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.JSONDir = t.TempDir()
+	if err := Cluster(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_cluster.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		NumCPU    int `json:"num_cpu"`
+		Followers int `json:"followers"`
+		Loads     []struct {
+			Topology      string  `json:"topology"`
+			Requests      int     `json:"requests"`
+			UpdateBatches int     `json:"update_batches"`
+			Throughput    float64 `json:"throughput_rps"`
+		} `json:"loads"`
+		ReplicationLag struct {
+			Samples int     `json:"samples"`
+			MeanMs  float64 `json:"mean_ms"`
+			MaxMs   float64 `json:"max_ms"`
+		} `json:"replication_lag"`
+		ResyncMs      float64 `json:"resync_ms"`
+		ResyncVersion uint64  `json:"resync_version"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.NumCPU <= 0 {
+		t.Error("NumCPU missing from the report (the honest-framing denominator)")
+	}
+	if len(report.Loads) != 2 || report.Loads[0].Topology != "single" || report.Loads[1].Topology != "cluster" {
+		t.Fatalf("loads %+v, want [single cluster]", report.Loads)
+	}
+	single, clus := report.Loads[0], report.Loads[1]
+	if single.Requests == 0 || single.Requests != clus.Requests {
+		t.Fatalf("unequal request counts %d vs %d", single.Requests, clus.Requests)
+	}
+	if single.UpdateBatches != clus.UpdateBatches {
+		t.Fatalf("unequal update batches %d vs %d", single.UpdateBatches, clus.UpdateBatches)
+	}
+	if single.Throughput <= 0 || clus.Throughput <= 0 {
+		t.Fatalf("missing throughput (%v, %v)", single.Throughput, clus.Throughput)
+	}
+	// One lag sample per (batch, follower) pair.
+	if want := clus.UpdateBatches * report.Followers; report.ReplicationLag.Samples != want {
+		t.Errorf("lag samples %d, want %d", report.ReplicationLag.Samples, want)
+	}
+	if report.ReplicationLag.MeanMs <= 0 || report.ReplicationLag.MaxMs < report.ReplicationLag.MeanMs {
+		t.Errorf("implausible lag distribution %+v", report.ReplicationLag)
+	}
+	if report.ResyncMs <= 0 {
+		t.Error("re-sync was not timed")
+	}
+	// The reborn follower must reach the post-kill write: batches during
+	// the load plus the one extra batch posted after the kill.
+	if want := uint64(clus.UpdateBatches + 1); report.ResyncVersion != want {
+		t.Errorf("re-synced to version %d, want %d", report.ResyncVersion, want)
+	}
+	if !strings.Contains(buf.String(), "BENCH_cluster.json") {
 		t.Fatal("experiment did not report the artifact path")
 	}
 }

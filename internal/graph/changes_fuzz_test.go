@@ -21,6 +21,10 @@ func FuzzParseChanges(f *testing.F) {
 		"+n hello world\n+n\n+n # not a comment\n+e 0 2\n",
 		// Whitespace and blank-line tolerance.
 		"\n\n  +n x  \n\t+n y\t\n +e 0 1 \n",
+		// CRLF-terminated streams and trailing blank lines (Windows
+		// writers, HTTP bodies).
+		"+n person\r\n+e 0 1\r\n-e 0 1\r\n",
+		"+n a\r\n+n b\r\n+e 0 1\n-e 0 1\r\n\r\n\r\n",
 		// Redundant changes an applier must treat as no-ops.
 		"+n a\n+e 0 0\n+e 0 0\n-e 0 0\n-e 0 0\n",
 		// Malformed inputs the parser must reject cleanly.

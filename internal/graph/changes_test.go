@@ -1,6 +1,10 @@
 package graph
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
 
 // TestParseChangeWhitespace pins the parser's separator handling: the
 // directive and its payload may be split by any whitespace (the regression
@@ -46,6 +50,85 @@ func TestParseChangeWhitespace(t *testing.T) {
 		}
 		if tc.ok && got != tc.want {
 			t.Errorf("ParseChange(%q) = %+v, want %+v", tc.line, got, tc.want)
+		}
+	}
+}
+
+// TestReadChangesCRLF pins line-terminator tolerance: update streams
+// produced on Windows (CRLF line endings) and streams with trailing blank
+// lines parse identically to their canonical LF form — the replication
+// path ships these streams over HTTP, where either convention can appear.
+func TestReadChangesCRLF(t *testing.T) {
+	want := []Change{
+		{Op: OpAddNode, Label: "person"},
+		{Op: OpAddEdge, U: 0, V: 1},
+		{Op: OpRemoveEdge, U: 0, V: 1},
+	}
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"crlf", "+n person\r\n+e 0 1\r\n-e 0 1\r\n"},
+		{"crlf no final newline", "+n person\r\n+e 0 1\r\n-e 0 1"},
+		{"mixed terminators", "+n person\r\n+e 0 1\n-e 0 1\r\n"},
+		{"trailing blank lines", "+n person\n+e 0 1\n-e 0 1\n\n\n"},
+		{"crlf trailing blanks", "+n person\r\n+e 0 1\r\n-e 0 1\r\n\r\n\r\n"},
+		{"blank lines and comments interleaved", "\r\n# header\r\n+n person\r\n\r\n+e 0 1\r\n-e 0 1\r\n# trailer\r\n"},
+	}
+	for _, tc := range cases {
+		got, err := ReadChanges(strings.NewReader(tc.input))
+		if err != nil {
+			t.Errorf("%s: ReadChanges: %v", tc.name, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("%s: %d changes, want %d", tc.name, len(got), len(want))
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: change %d = %+v, want %+v", tc.name, i, got[i], want[i])
+			}
+		}
+	}
+	// A CR in a label is content, not a terminator artifact to preserve:
+	// the scanner strips "\r\n" as one terminator, so a label never keeps
+	// a trailing CR.
+	got, err := ReadChanges(strings.NewReader("+n person\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Label != "person" {
+		t.Fatalf("label %q retains terminator bytes", got[0].Label)
+	}
+}
+
+// TestWriteChangesRoundTripAfterCRLF: a stream read from CRLF input
+// re-renders in canonical LF form and survives the write→read round trip
+// unchanged.
+func TestWriteChangesRoundTripAfterCRLF(t *testing.T) {
+	in := "+n a\r\n+n b c\r\n+e 0 1\r\n-e 0 1\r\n\r\n"
+	changes, err := ReadChanges(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChanges(&buf, changes); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\r") {
+		t.Fatalf("writer emitted CR bytes: %q", buf.String())
+	}
+	again, err := ReadChanges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(changes) {
+		t.Fatalf("round trip changed length %d → %d", len(changes), len(again))
+	}
+	for i := range changes {
+		if again[i] != changes[i] {
+			t.Fatalf("round trip changed entry %d: %+v → %+v", i, changes[i], again[i])
 		}
 	}
 }

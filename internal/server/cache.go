@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"hash/maphash"
 	"sync"
+
+	"fsim/internal/stats"
 )
 
 // resultCache is the version-stamped result cache: a sharded LRU over
@@ -21,6 +23,45 @@ import (
 type resultCache struct {
 	seed   maphash.Seed
 	shards []*cacheShard
+	// Per-endpoint traffic counters, attributed by key prefix ("t/..." =
+	// /topk, "q/..." = /query). Hits and misses measure lookup traffic;
+	// evictions count entries displaced by LRU capacity pressure and
+	// purges the ones dropped by version-bump invalidation — the split the
+	// router's ring decisions and the cluster experiment read: a hot
+	// eviction rate means the cache is too small, a hot purge rate means
+	// the write stream is outrunning the read working set.
+	topk, query endpointCacheStats
+}
+
+// endpointCacheStats is one endpoint's cache counter block.
+type endpointCacheStats struct {
+	hits, misses, evictions, purged stats.Counter
+}
+
+// counters attributes a cache key to its endpoint's counter block.
+func (c *resultCache) counters(key string) *endpointCacheStats {
+	if len(key) > 0 && key[0] == 'q' {
+		return &c.query
+	}
+	return &c.topk
+}
+
+// CacheEndpointStats is the exported snapshot of one endpoint's cache
+// counters (the /stats wire form).
+type CacheEndpointStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Purged    int64 `json:"purged"`
+}
+
+func (s *endpointCacheStats) snapshot() CacheEndpointStats {
+	return CacheEndpointStats{
+		Hits:      s.hits.Value(),
+		Misses:    s.misses.Value(),
+		Evictions: s.evictions.Value(),
+		Purged:    s.purged.Value(),
+	}
 }
 
 type cacheShard struct {
@@ -65,17 +106,23 @@ func (c *resultCache) shard(key string) *cacheShard {
 	return c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
 }
 
-// get returns the cached body for key, refreshing its recency.
-func (c *resultCache) get(key string) ([]byte, bool) {
+// get returns the cached body for key and the graph version it was
+// computed at, refreshing its recency.
+func (c *resultCache) get(key string) ([]byte, uint64, bool) {
 	s := c.shard(key)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	el, ok := s.items[key]
 	if !ok {
-		return nil, false
+		s.mu.Unlock()
+		c.counters(key).misses.Inc()
+		return nil, 0, false
 	}
 	s.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	e := el.Value.(*cacheEntry)
+	body, version := e.body, e.version
+	s.mu.Unlock()
+	c.counters(key).hits.Inc()
+	return body, version, true
 }
 
 // put inserts (or refreshes) an entry, evicting the least recently used
@@ -94,7 +141,9 @@ func (c *resultCache) put(key string, version uint64, body []byte) {
 	for s.ll.Len() >= s.capacity {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
-		delete(s.items, oldest.Value.(*cacheEntry).key)
+		victim := oldest.Value.(*cacheEntry).key
+		delete(s.items, victim)
+		c.counters(victim).evictions.Inc()
 	}
 	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, version: version, body: body})
 }
@@ -111,6 +160,7 @@ func (c *resultCache) purgeOlder(cutoff uint64) {
 			if e := el.Value.(*cacheEntry); e.version < cutoff {
 				s.ll.Remove(el)
 				delete(s.items, e.key)
+				c.counters(e.key).purged.Inc()
 			}
 			el = next
 		}

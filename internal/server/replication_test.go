@@ -1,0 +1,280 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fsim/internal/dataset"
+	"fsim/internal/dynamic"
+	"fsim/internal/graph"
+	"fsim/internal/snapshot"
+)
+
+// TestChangesEndpoint pins the leader's replication read path: the batches
+// applied through POST /updates come back out of GET /changes as version
+// steps a second maintainer can replay to the leader's exact version and
+// scores.
+func TestChangesEndpoint(t *testing.T) {
+	g := dataset.RandomGraph(31, 12, 36, 3)
+	s := newTestServer(t, g, Options{Role: RoleLeader})
+	follower, err := dynamic.New(g, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batches := []string{
+		"+e 0 7\n+e 7 2\n",
+		"+n fresh\n+e 1 5\n",
+		"-e 0 7\n",
+	}
+	for _, b := range batches {
+		if w := do(t, s, http.MethodPost, "/updates", b, nil); w.Code != http.StatusOK {
+			t.Fatalf("POST /updates: status %d (%s)", w.Code, w.Body.String())
+		}
+	}
+
+	w := do(t, s, http.MethodGet, "/changes?from=0", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /changes: status %d (%s)", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Fsim-From-Version"); got != "0" {
+		t.Fatalf("from header %q, want 0", got)
+	}
+	wantTo := strconv.FormatUint(s.mt.Version(), 10)
+	if got := w.Header().Get("X-Fsim-To-Version"); got != wantTo {
+		t.Fatalf("to header %q, want %s", got, wantTo)
+	}
+	steps, err := dynamic.ReadChangeStream(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadChangeStream: %v\nbody:\n%s", err, w.Body.String())
+	}
+	if len(steps) != len(batches) {
+		t.Fatalf("%d steps, want %d", len(steps), len(batches))
+	}
+	for _, step := range steps {
+		st, err := follower.Apply(step.Changes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Version != step.Version {
+			t.Fatalf("replayed step landed at version %d, want %d", st.Version, step.Version)
+		}
+	}
+	if follower.Version() != s.mt.Version() {
+		t.Fatalf("follower at version %d, leader at %d", follower.Version(), s.mt.Version())
+	}
+	n := s.mt.Graph().NumNodes()
+	for u := 0; u < n; u += 5 {
+		for v := 0; v < n; v += 7 {
+			ls, err := s.mt.Score(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, err := follower.Score(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ls != fs {
+				t.Fatalf("score(%d,%d): follower %v, leader %v", u, v, fs, ls)
+			}
+		}
+	}
+
+	// A caught-up tail is an empty 200 with matching window headers.
+	w = do(t, s, http.MethodGet, fmt.Sprintf("/changes?from=%d", s.mt.Version()), "", nil)
+	if w.Code != http.StatusOK || w.Body.Len() != 0 {
+		t.Fatalf("caught-up tail: status %d, body %q", w.Code, w.Body.String())
+	}
+	// Bad requests: missing from, future from.
+	if w := do(t, s, http.MethodGet, "/changes", "", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("missing from: status %d, want 400", w.Code)
+	}
+	if w := do(t, s, http.MethodGet, "/changes?from=999", "", nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("future from: status %d, want 400", w.Code)
+	}
+}
+
+// TestChangesCompaction pins the 410 contract: a follower behind the
+// leader's retention horizon is told to re-sync rather than silently
+// handed an incomplete tail.
+func TestChangesCompaction(t *testing.T) {
+	g := dataset.RandomGraph(32, 12, 36, 3)
+	s := newTestServer(t, g, Options{Role: RoleLeader, RetainVersions: 2})
+	for i := 0; i < 5; i++ {
+		if w := do(t, s, http.MethodPost, "/updates", "+n n\n", nil); w.Code != http.StatusOK {
+			t.Fatalf("POST /updates: status %d", w.Code)
+		}
+	}
+	if w := do(t, s, http.MethodGet, "/changes?from=0", "", nil); w.Code != http.StatusGone {
+		t.Fatalf("compacted from: status %d, want 410 (%s)", w.Code, w.Body.String())
+	}
+	// The horizon (current - retained) is still servable.
+	w := do(t, s, http.MethodGet, "/changes?from=3", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("horizon tail: status %d (%s)", w.Code, w.Body.String())
+	}
+	steps, err := dynamic.ReadChangeStream(bytes.NewReader(w.Body.Bytes()))
+	if err != nil || len(steps) != 2 || steps[0].Version != 4 {
+		t.Fatalf("horizon tail = (%d steps, %v), want versions 4..5", len(steps), err)
+	}
+
+	var sr StatsResponse
+	do(t, s, http.MethodGet, "/stats", "", &sr)
+	if sr.Role != "leader" || sr.Replication == nil {
+		t.Fatalf("stats role=%q replication=%v, want leader block", sr.Role, sr.Replication)
+	}
+	if sr.Replication.ChangesCompacted != 1 || sr.Replication.LogVersions != 2 || sr.Replication.LogOldestVersion != 4 {
+		t.Fatalf("replication stats %+v", *sr.Replication)
+	}
+}
+
+// TestSnapshotEndpoint streams a leader snapshot and rebuilds a maintainer
+// from it: same version, same scores — the follower warm-start path.
+func TestSnapshotEndpoint(t *testing.T) {
+	g := dataset.RandomGraph(33, 12, 36, 3)
+	s := newTestServer(t, g, Options{Role: RoleLeader})
+	if w := do(t, s, http.MethodPost, "/updates", "+e 0 3\n+e 3 9\n", nil); w.Code != http.StatusOK {
+		t.Fatalf("POST /updates: status %d", w.Code)
+	}
+
+	w := do(t, s, http.MethodGet, "/snapshot", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /snapshot: status %d (%s)", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	if got := w.Header().Get(VersionHeader); got != strconv.FormatUint(s.mt.Version(), 10) {
+		t.Fatalf("version header %q, want %d", got, s.mt.Version())
+	}
+	mt, err := snapshot.Read(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mt.Close()
+	if mt.Version() != s.mt.Version() {
+		t.Fatalf("restored version %d, want %d", mt.Version(), s.mt.Version())
+	}
+	n := s.mt.Graph().NumNodes()
+	for u := 0; u < n; u += 6 {
+		for v := 0; v < n; v += 4 {
+			want, err := s.mt.Score(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := mt.Score(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("score(%d,%d): restored %v, leader %v", u, v, got, want)
+			}
+		}
+	}
+
+	// A truncated stream must be rejected, not silently loaded.
+	trunc := w.Body.Bytes()[:w.Body.Len()/2]
+	if _, err := snapshot.Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated snapshot loaded without error")
+	}
+}
+
+// TestRoleGating pins which roles expose which endpoints: only a leader
+// serves /changes and /snapshot, and a follower refuses writes.
+func TestRoleGating(t *testing.T) {
+	g := dataset.RandomGraph(34, 10, 24, 2)
+	single := newTestServer(t, g, Options{})
+	follower := newTestServer(t, g, Options{Role: RoleFollower})
+
+	for _, tc := range []struct {
+		s    *Server
+		name string
+	}{{single, "single"}, {follower, "follower"}} {
+		for _, path := range []string{"/changes?from=0", "/snapshot"} {
+			if w := do(t, tc.s, http.MethodGet, path, "", nil); w.Code != http.StatusForbidden {
+				t.Fatalf("%s GET %s: status %d, want 403", tc.name, path, w.Code)
+			}
+		}
+	}
+	w := do(t, follower, http.MethodPost, "/updates", "+e 0 1\n", nil)
+	if w.Code != http.StatusForbidden {
+		t.Fatalf("follower POST /updates: status %d, want 403", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "leader") {
+		t.Fatalf("follower write refusal should point at the leader: %q", w.Body.String())
+	}
+	// Reads still work on a follower.
+	if w := do(t, follower, http.MethodGet, "/topk?u=1&k=3", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("follower GET /topk: status %d", w.Code)
+	}
+}
+
+// TestReadyz pins the readiness probe: ready when serving, syncing while
+// the ReadyCheck fails, draining during shutdown — and distinct from
+// /healthz, which stays 200 for a syncing follower.
+func TestReadyz(t *testing.T) {
+	g := dataset.RandomGraph(35, 10, 24, 2)
+	ready := false
+	s := newTestServer(t, g, Options{
+		Role:       RoleFollower,
+		ReadyCheck: func() (bool, string) { return ready, "behind leader" },
+	})
+
+	w := do(t, s, http.MethodGet, "/readyz", "", nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("syncing readyz: status %d, want 503", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "syncing") || !strings.Contains(w.Body.String(), "behind leader") {
+		t.Fatalf("syncing readyz body %q", w.Body.String())
+	}
+	if w := do(t, s, http.MethodGet, "/healthz", "", nil); w.Code != http.StatusOK {
+		t.Fatalf("healthz while syncing: status %d, want 200 (liveness, not readiness)", w.Code)
+	}
+
+	ready = true
+	var rr ReadyResponse
+	w = do(t, s, http.MethodGet, "/readyz", "", &rr)
+	if w.Code != http.StatusOK || rr.Status != "ready" || rr.Role != "follower" {
+		t.Fatalf("caught-up readyz: status %d body %+v", w.Code, rr)
+	}
+}
+
+// TestVersionHeaderOnReads asserts every read response carries the graph
+// version it was computed at — the token routers use for read-your-writes.
+func TestVersionHeaderOnReads(t *testing.T) {
+	g := dataset.RandomGraph(36, 10, 24, 2)
+	s := newTestServer(t, g, Options{})
+	for _, target := range []string{"/topk?u=1&k=3", "/query?u=1&v=2"} {
+		// Twice: the second response comes from cache and must still carry
+		// the version stamp.
+		for round := 0; round < 2; round++ {
+			w := do(t, s, http.MethodGet, target, "", nil)
+			if w.Code != http.StatusOK {
+				t.Fatalf("GET %s: status %d", target, w.Code)
+			}
+			if got := w.Header().Get(VersionHeader); got != "0" {
+				t.Fatalf("GET %s round %d: version header %q, want 0", target, round, got)
+			}
+		}
+	}
+	if w := do(t, s, http.MethodPost, "/updates", "+e 0 5\n", nil); w.Code != http.StatusOK {
+		t.Fatalf("POST /updates: status %d", w.Code)
+	}
+	if w := do(t, s, http.MethodGet, "/topk?u=1&k=3", "", nil); w.Header().Get(VersionHeader) != "1" {
+		t.Fatalf("post-update version header %q, want 1", w.Header().Get(VersionHeader))
+	}
+
+	var sr StatsResponse
+	do(t, s, http.MethodGet, "/stats", "", &sr)
+	topk, query := sr.Cache["topk"], sr.Cache["query"]
+	if topk.Misses != 2 || topk.Hits != 1 || query.Misses != 1 || query.Hits != 1 {
+		t.Fatalf("per-endpoint cache stats topk=%+v query=%+v", topk, query)
+	}
+	if topk.Purged != 1 || query.Purged != 1 {
+		t.Fatalf("purge counters topk=%+v query=%+v, want 1 each after version bump", topk, query)
+	}
+}

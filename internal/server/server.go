@@ -60,6 +60,36 @@ import (
 	"fsim/internal/stats"
 )
 
+// Role selects the server's replication role (see the package comment's
+// replication section). The zero value is RoleSingle — the standalone
+// deployment every earlier PR served.
+type Role int
+
+const (
+	// RoleSingle is a standalone server: reads and writes, no replication
+	// endpoints.
+	RoleSingle Role = iota
+	// RoleLeader owns the write path of a replicated tier: it additionally
+	// retains an in-memory versioned change log and serves GET /changes
+	// and GET /snapshot to followers.
+	RoleLeader
+	// RoleFollower is a read replica: POST /updates is refused (writes go
+	// to the leader; the replication loop applies batches directly through
+	// the maintainer), and GET /readyz reflects catch-up lag via
+	// Options.ReadyCheck.
+	RoleFollower
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleLeader:
+		return "leader"
+	case RoleFollower:
+		return "follower"
+	}
+	return "single"
+}
+
 // Options tunes the serving layer (zero value = production defaults).
 type Options struct {
 	// CacheEntries bounds the result cache. 0 uses the default (4096);
@@ -94,6 +124,19 @@ type Options struct {
 	// background goroutine off the update path, so a slow disk never
 	// blocks an Apply.
 	CheckpointEvery int
+	// Role selects the replication role (default RoleSingle).
+	Role Role
+	// RetainVersions bounds the leader's retained change log in version
+	// steps (RoleLeader only; 0 or negative uses
+	// dynamic.DefaultRetainVersions). A follower whose version falls
+	// behind the retained window receives 410 Gone from GET /changes and
+	// must re-sync from GET /snapshot.
+	RetainVersions int
+	// ReadyCheck, when set, gates GET /readyz beyond the draining check:
+	// the endpoint answers 503 with the returned detail until the check
+	// passes. The replication follower wires its catch-up state machine in
+	// here; single-role servers leave it nil (always ready once serving).
+	ReadyCheck func() (ready bool, detail string)
 }
 
 func (o Options) withDefaults() Options {
@@ -148,10 +191,13 @@ type Server struct {
 // metrics are the /stats counters (see internal/stats).
 type metrics struct {
 	topk, query, updates, healthz, statsReqs stats.Counter
+	readyz, changesReqs, snapshotReqs        stats.Counter
 	hits, misses, coalesced                  stats.Counter
 	rejected, unavailable, badRequests       stats.Counter
 	updatesApplied, fullRecomputes           stats.Counter
 	checkpoints, checkpointErrors            stats.Counter
+	changesServed, changesCompacted          stats.Counter
+	snapshotsServed, snapshotErrors          stats.Counter
 	computeInFlight                          stats.Gauge
 	computeLatency, updateLatency            stats.Latency
 }
@@ -172,6 +218,15 @@ func New(g *graph.Graph, opts core.Options, sopts Options) (*Server, error) {
 func NewFromMaintainer(mt *dynamic.Maintainer, sopts Options) *Server {
 	sopts = sopts.withDefaults()
 	s := &Server{mt: mt, ix: mt.Index(), opts: sopts}
+	if sopts.Role == RoleLeader {
+		retain := sopts.RetainVersions
+		if retain < 0 {
+			retain = 0
+		}
+		// 0 falls back to dynamic.DefaultRetainVersions; errors are
+		// impossible with the clamped arguments.
+		mt.RetainChanges(retain, 0)
+	}
 	if sopts.CacheEntries > 0 {
 		s.cache = newResultCache(sopts.CacheEntries, sopts.CacheShards)
 	}
@@ -321,9 +376,24 @@ type LatencyStats struct {
 	MaxMs  float64 `json:"maxMs"`
 }
 
+// ReplicationStats is the /stats block a leader reports about its change
+// log and the replication traffic it has served.
+type ReplicationStats struct {
+	ChangesRequests  int64  `json:"changesRequests"`
+	ChangesServed    int64  `json:"changesServed"`
+	ChangesCompacted int64  `json:"changesCompacted"`
+	SnapshotRequests int64  `json:"snapshotRequests"`
+	SnapshotsServed  int64  `json:"snapshotsServed"`
+	SnapshotErrors   int64  `json:"snapshotErrors"`
+	LogVersions      int    `json:"logVersions"`
+	LogChanges       int    `json:"logChanges"`
+	LogOldestVersion uint64 `json:"logOldestVersion"`
+}
+
 // StatsResponse is the GET /stats body.
 type StatsResponse struct {
 	GraphVersion   uint64           `json:"graphVersion"`
+	Role           string           `json:"role"`
 	Nodes          int              `json:"nodes"`
 	Edges          int              `json:"edges"`
 	Requests       map[string]int64 `json:"requests"`
@@ -347,6 +417,13 @@ type StatsResponse struct {
 	LastCheckpointError string       `json:"lastCheckpointError,omitempty"`
 	ComputeLatency      LatencyStats `json:"computeLatency"`
 	UpdateLatency       LatencyStats `json:"updateLatency"`
+	// Cache breaks the result cache down per endpoint ("topk", "query"):
+	// hits/misses measured at the cache, LRU evictions, and version-bump
+	// purges. Absent when caching is disabled.
+	Cache map[string]CacheEndpointStats `json:"cache,omitempty"`
+	// Replication reports the leader's change-log occupancy and served
+	// replication traffic. Absent on non-leader roles.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 type errorResponse struct {
@@ -356,7 +433,22 @@ type errorResponse struct {
 // errOverloaded marks a compute slot admission failure (→ 429).
 var errOverloaded = errors.New("server: compute admission limit reached")
 
-// ServeHTTP routes the five endpoints.
+// Replication wire headers. Read responses carry the graph version their
+// body was computed at in VersionHeader (the same value as the JSON
+// field, lifted into a header so routers enforce read-your-writes without
+// parsing bodies); GET /changes stamps the covered version window into
+// FromVersionHeader/ToVersionHeader.
+const (
+	versionHeader     = "X-Fsim-Version"
+	fromVersionHeader = "X-Fsim-From-Version"
+	toVersionHeader   = "X-Fsim-To-Version"
+)
+
+// VersionHeader is the response header carrying the graph version a read
+// body was computed at (exported for routing clients).
+const VersionHeader = versionHeader
+
+// ServeHTTP routes the endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/topk":
@@ -367,6 +459,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleUpdates(w, r)
 	case "/healthz":
 		s.handleHealthz(w, r)
+	case "/readyz":
+		s.handleReadyz(w, r)
+	case "/changes":
+		s.handleChanges(w, r)
+	case "/snapshot":
+		s.handleSnapshot(w, r)
 	case "/stats":
 		s.handleStats(w, r)
 	default:
@@ -510,22 +608,23 @@ func (s *Server) serveComputed(w http.ResponseWriter, baseKey string, compute fu
 
 	key := fmt.Sprintf("%s/%d", baseKey, s.mt.Version())
 	if s.cache != nil {
-		if body, ok := s.cache.get(key); ok {
+		if body, version, ok := s.cache.get(key); ok {
 			s.metrics.hits.Inc()
 			w.Header().Set("X-Fsim-Cache", "hit")
+			w.Header().Set(versionHeader, strconv.FormatUint(version, 10))
 			writeBody(w, http.StatusOK, body)
 			return
 		}
 	}
 	s.metrics.misses.Inc()
 
-	run := func() ([]byte, error) {
+	run := func() ([]byte, uint64, error) {
 		if s.sem != nil {
 			select {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
 			default:
-				return nil, errOverloaded
+				return nil, 0, errOverloaded
 			}
 		}
 		s.metrics.computeInFlight.Inc()
@@ -534,21 +633,22 @@ func (s *Server) serveComputed(w http.ResponseWriter, baseKey string, compute fu
 		body, version, err := compute()
 		s.metrics.computeLatency.Observe(time.Since(t0))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if s.cache != nil {
 			s.cache.put(fmt.Sprintf("%s/%d", baseKey, version), version, body)
 		}
-		return body, nil
+		return body, version, nil
 	}
 
 	var body []byte
+	var version uint64
 	var err error
 	if s.opts.DisableCoalescing {
-		body, err = run()
+		body, version, err = run()
 	} else {
 		var shared bool
-		body, err, shared = s.flights.do(key, run)
+		body, version, err, shared = s.flights.do(key, run)
 		if shared {
 			s.metrics.coalesced.Inc()
 		}
@@ -566,6 +666,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, baseKey string, compute fu
 		s.badRequest(w, err)
 	default:
 		w.Header().Set("X-Fsim-Cache", "miss")
+		w.Header().Set(versionHeader, strconv.FormatUint(version, 10))
 		writeBody(w, http.StatusOK, body)
 	}
 }
@@ -574,6 +675,14 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	s.metrics.updates.Inc()
 	if r.Method != http.MethodPost {
 		s.methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	if s.opts.Role == RoleFollower {
+		// The replication loop is the only writer on a follower; it applies
+		// batches directly through the maintainer. External writes must go
+		// to the leader (the router forwards them there).
+		s.metrics.badRequests.Inc()
+		writeJSON(w, http.StatusForbidden, errorResponse{Error: "follower is read-only: send writes to the leader"})
 		return
 	}
 	if !s.enter() {
@@ -614,6 +723,10 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
+	// Writes carry the resulting version in the header too, so routing
+	// clients can lift their read-your-writes token without parsing the
+	// body.
+	w.Header().Set(versionHeader, strconv.FormatUint(st.Version, 10))
 	writeJSON(w, http.StatusOK, UpdateResponse{
 		GraphVersion: st.Version,
 		Submitted:    len(changes),
@@ -646,6 +759,125 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, resp)
 }
 
+// ReadyResponse is the GET /readyz body.
+type ReadyResponse struct {
+	Status       string `json:"status"`
+	Role         string `json:"role"`
+	GraphVersion uint64 `json:"graphVersion"`
+	Detail       string `json:"detail,omitempty"`
+}
+
+// handleReadyz is the traffic-readiness probe: unlike /healthz (liveness),
+// it answers 503 while the server is draining or — through
+// Options.ReadyCheck — while a follower has not caught up to the leader
+// within its configured lag. Routers use it to admit replicas to the ring.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.readyz.Inc()
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	resp := ReadyResponse{Status: "ready", Role: s.opts.Role.String(), GraphVersion: s.mt.Version()}
+	code := http.StatusOK
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	switch {
+	case draining:
+		resp.Status, code = "draining", http.StatusServiceUnavailable
+	case s.opts.ReadyCheck != nil:
+		if ok, detail := s.opts.ReadyCheck(); !ok {
+			resp.Status, resp.Detail, code = "syncing", detail, http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, resp)
+}
+
+// handleChanges serves the leader's retained change log: the batches a
+// follower at version `from` must apply, in order, to reach the current
+// version. The body is the update-stream text format with one
+// "# version N" marker per step (dynamic.WriteChangeStream); the covered
+// window is stamped into X-Fsim-From-Version/X-Fsim-To-Version. A `from`
+// compacted out of the log answers 410 Gone — the follower must re-sync
+// from GET /snapshot.
+func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
+	s.metrics.changesReqs.Inc()
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	if s.opts.Role != RoleLeader {
+		s.metrics.badRequests.Inc()
+		writeJSON(w, http.StatusForbidden, errorResponse{Error: fmt.Sprintf("role %q does not serve the change log", s.opts.Role)})
+		return
+	}
+	if !s.enter() {
+		s.unavailable(w)
+		return
+	}
+	defer s.leave()
+	from, err := uint64Param(r, "from")
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	steps, current, err := s.mt.ChangesSince(from)
+	switch {
+	case errors.Is(err, dynamic.ErrLogCompacted):
+		s.metrics.changesCompacted.Inc()
+		writeJSON(w, http.StatusGone, errorResponse{Error: err.Error()})
+		return
+	case err != nil:
+		s.badRequest(w, err)
+		return
+	}
+	for _, step := range steps {
+		s.metrics.changesServed.Add(int64(len(step.Changes)))
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set(fromVersionHeader, strconv.FormatUint(from, 10))
+	w.Header().Set(toVersionHeader, strconv.FormatUint(current, 10))
+	w.WriteHeader(http.StatusOK)
+	// A write failure mid-stream means the client disconnected; it will
+	// retry. The version-marker framing makes a truncated body detectable
+	// on the follower side (ReadChangeStream rejects an empty last step,
+	// and the To header must match the last applied version).
+	dynamic.WriteChangeStream(w, steps)
+}
+
+// handleSnapshot streams a binary snapshot of the maintainer's current
+// state (the PR 5 codec — CRC-framed and corruption-rejecting on load), a
+// follower's warm-start and re-sync source. The maintainer's read lock is
+// held for the duration of the stream, so the snapshot is one consistent
+// version; the X-Fsim-Version header is advisory (stamped before the body
+// begins) — the authoritative version travels inside the snapshot itself.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.metrics.snapshotReqs.Inc()
+	if r.Method != http.MethodGet {
+		s.methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	if s.opts.Role != RoleLeader {
+		s.metrics.badRequests.Inc()
+		writeJSON(w, http.StatusForbidden, errorResponse{Error: fmt.Sprintf("role %q does not serve snapshots", s.opts.Role)})
+		return
+	}
+	if !s.enter() {
+		s.unavailable(w)
+		return
+	}
+	defer s.leave()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(versionHeader, strconv.FormatUint(s.mt.Version(), 10))
+	if err := snapshot.Write(s.mt, w); err != nil {
+		// Headers are already on the wire; the client sees a truncated
+		// stream, which the codec's checksums reject on load.
+		s.metrics.snapshotErrors.Inc()
+		return
+	}
+	s.metrics.snapshotsServed.Inc()
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.metrics.statsReqs.Inc()
 	if r.Method != http.MethodGet {
@@ -656,14 +888,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	g := s.mt.Graph()
 	resp := StatsResponse{
 		GraphVersion: s.mt.Version(),
+		Role:         s.opts.Role.String(),
 		Nodes:        g.NumNodes(),
 		Edges:        g.NumEdges(),
 		Requests: map[string]int64{
-			"topk":    m.topk.Value(),
-			"query":   m.query.Value(),
-			"updates": m.updates.Value(),
-			"healthz": m.healthz.Value(),
-			"stats":   m.statsReqs.Value(),
+			"topk":     m.topk.Value(),
+			"query":    m.query.Value(),
+			"updates":  m.updates.Value(),
+			"healthz":  m.healthz.Value(),
+			"readyz":   m.readyz.Value(),
+			"changes":  m.changesReqs.Value(),
+			"snapshot": m.snapshotReqs.Value(),
+			"stats":    m.statsReqs.Value(),
 		},
 		CacheHits:      m.hits.Value(),
 		CacheMisses:    m.misses.Value(),
@@ -687,6 +923,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		resp.CacheEntries = s.cache.len()
 		resp.CacheCapacity = s.cache.cap()
+		resp.Cache = map[string]CacheEndpointStats{
+			"topk":  s.cache.topk.snapshot(),
+			"query": s.cache.query.snapshot(),
+		}
+	}
+	if s.opts.Role == RoleLeader {
+		ls := s.mt.LogStats()
+		resp.Replication = &ReplicationStats{
+			ChangesRequests:  m.changesReqs.Value(),
+			ChangesServed:    m.changesServed.Value(),
+			ChangesCompacted: m.changesCompacted.Value(),
+			SnapshotRequests: m.snapshotReqs.Value(),
+			SnapshotsServed:  m.snapshotsServed.Value(),
+			SnapshotErrors:   m.snapshotErrors.Value(),
+			LogVersions:      ls.Versions,
+			LogChanges:       ls.Changes,
+			LogOldestVersion: ls.OldestVersion,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -728,6 +982,18 @@ func intParam(r *http.Request, name string) (int, error) {
 		return 0, fmt.Errorf("bad query parameter %s=%q", name, raw)
 	}
 	return int(n), nil
+}
+
+func uint64Param(r *http.Request, name string) (uint64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	n, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad query parameter %s=%q", name, raw)
+	}
+	return n, nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

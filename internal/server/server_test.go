@@ -437,14 +437,14 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		body, err, shared := g.do("k", func() ([]byte, error) {
+		body, version, err, shared := g.do("k", func() ([]byte, uint64, error) {
 			runs++
 			close(entered)
 			<-release
-			return []byte("r"), nil
+			return []byte("r"), 7, nil
 		})
-		if string(body) != "r" || err != nil || shared {
-			t.Errorf("leader: body=%q err=%v shared=%v", body, err, shared)
+		if string(body) != "r" || version != 7 || err != nil || shared {
+			t.Errorf("leader: body=%q version=%d err=%v shared=%v", body, version, err, shared)
 		}
 	}()
 	<-entered
@@ -457,12 +457,12 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body, err, shared := g.do("k", func() ([]byte, error) {
+			body, version, err, shared := g.do("k", func() ([]byte, uint64, error) {
 				t.Error("follower executed fn")
-				return nil, nil
+				return nil, 0, nil
 			})
-			if string(body) != "r" || err != nil {
-				t.Errorf("follower: body=%q err=%v", body, err)
+			if string(body) != "r" || version != 7 || err != nil {
+				t.Errorf("follower: body=%q version=%d err=%v", body, version, err)
 			}
 			mu.Lock()
 			if shared {
@@ -484,7 +484,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		t.Fatalf("%d followers saw shared results, want %d", sharedCount, followers)
 	}
 	// A later call starts a fresh flight.
-	if _, _, shared := g.do("k", func() ([]byte, error) { return []byte("x"), nil }); shared {
+	if _, _, _, shared := g.do("k", func() ([]byte, uint64, error) { return []byte("x"), 0, nil }); shared {
 		t.Fatal("fresh call after completed flight reported shared")
 	}
 }
@@ -501,10 +501,10 @@ func TestResultCache(t *testing.T) {
 	}
 	c.get("k0") // refresh k0; k1 is now the LRU entry
 	c.put("k4", 1, []byte{4})
-	if _, ok := c.get("k1"); ok {
+	if _, _, ok := c.get("k1"); ok {
 		t.Fatal("LRU entry survived eviction")
 	}
-	if _, ok := c.get("k0"); !ok {
+	if _, _, ok := c.get("k0"); !ok {
 		t.Fatal("recently used entry evicted")
 	}
 	// A sharded cache never grows past its capacity, however the hash
@@ -519,18 +519,18 @@ func TestResultCache(t *testing.T) {
 	// Refreshing an existing key must not duplicate it.
 	c.put("fixed", 2, []byte("a"))
 	c.put("fixed", 3, []byte("b"))
-	if body, ok := c.get("fixed"); !ok || string(body) != "b" {
-		t.Fatalf("refresh: got %q %v", body, ok)
+	if body, version, ok := c.get("fixed"); !ok || string(body) != "b" || version != 3 {
+		t.Fatalf("refresh: got %q v%d %v", body, version, ok)
 	}
 	c.purgeOlder(3)
-	if _, ok := c.get("fixed"); !ok {
+	if _, _, ok := c.get("fixed"); !ok {
 		t.Fatal("purgeOlder dropped a current-version entry")
 	}
 	c.purgeOlder(4)
 	if c.len() != 0 {
 		t.Fatalf("purgeOlder(4) left %d entries", c.len())
 	}
-	if _, ok := c.get("fixed"); ok {
+	if _, _, ok := c.get("fixed"); ok {
 		t.Fatal("purged entry still served")
 	}
 }
@@ -571,7 +571,7 @@ func TestFlightGroupLeaderPanic(t *testing.T) {
 			}
 			close(leaderPanicked)
 		}()
-		g.do("k", func() ([]byte, error) {
+		g.do("k", func() ([]byte, uint64, error) {
 			close(entered)
 			<-release
 			panic("compute blew up")
@@ -581,9 +581,9 @@ func TestFlightGroupLeaderPanic(t *testing.T) {
 
 	followerDone := make(chan error, 1)
 	go func() {
-		_, err, _ := g.do("k", func() ([]byte, error) {
+		_, _, err, _ := g.do("k", func() ([]byte, uint64, error) {
 			t.Error("follower executed fn while leader was registered")
-			return nil, nil
+			return nil, 0, nil
 		})
 		followerDone <- err
 	}()
@@ -594,7 +594,7 @@ func TestFlightGroupLeaderPanic(t *testing.T) {
 		t.Fatal("follower got a nil error after the leader panicked")
 	}
 	// The key is not wedged: a fresh call runs.
-	body, err, shared := g.do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	body, _, err, shared := g.do("k", func() ([]byte, uint64, error) { return []byte("ok"), 0, nil })
 	if string(body) != "ok" || err != nil || shared {
 		t.Fatalf("post-panic flight: body=%q err=%v shared=%v", body, err, shared)
 	}

@@ -27,9 +27,10 @@ type flightGroup struct {
 }
 
 type flight struct {
-	wg   sync.WaitGroup
-	body []byte
-	err  error
+	wg      sync.WaitGroup
+	body    []byte
+	version uint64
+	err     error
 	// waiters counts followers committed to this flight; written under
 	// the group mutex, read by tests to sequence deterministically.
 	waiters int
@@ -47,9 +48,11 @@ func (g *flightGroup) flightWaiters(key string) (int, bool) {
 	return f.waiters, true
 }
 
-// do runs fn once per concurrent set of callers with the same key.
-// shared reports whether the result came from another caller's run.
-func (g *flightGroup) do(key string, fn func() ([]byte, error)) (body []byte, err error, shared bool) {
+// do runs fn once per concurrent set of callers with the same key; the
+// graph version fn stamped its body with travels with the result, so
+// followers can relay it without re-deriving it from the key. shared
+// reports whether the result came from another caller's run.
+func (g *flightGroup) do(key string, fn func() ([]byte, uint64, error)) (body []byte, version uint64, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flight)
@@ -58,7 +61,7 @@ func (g *flightGroup) do(key string, fn func() ([]byte, error)) (body []byte, er
 		f.waiters++
 		g.mu.Unlock()
 		f.wg.Wait()
-		return f.body, f.err, true
+		return f.body, f.version, f.err, true
 	}
 	f := &flight{err: errFlightPanicked} // overwritten on normal completion
 	f.wg.Add(1)
@@ -75,6 +78,6 @@ func (g *flightGroup) do(key string, fn func() ([]byte, error)) (body []byte, er
 		g.mu.Unlock()
 		f.wg.Done()
 	}()
-	f.body, f.err = fn()
-	return f.body, f.err, false
+	f.body, f.version, f.err = fn()
+	return f.body, f.version, f.err, false
 }
