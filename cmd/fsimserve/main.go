@@ -31,6 +31,9 @@
 //
 //	GET  /topk?u=<node>&k=<n>   top-k most similar nodes for u
 //	GET  /query?u=<u>&v=<v>     the single score FSimχ(u, v)
+//	POST /match?variant=<x>     match an uploaded query graph (s dp b bj strong)
+//	POST /align?variant=<x>     align an uploaded graph with the live graph (b bj)
+//	GET  /nodesim?u=&v=&measure=<m>  one pair score (fsim, jaccard, simgram)
 //	POST /updates               update-stream body ("+n" / "+e" / "-e" lines)
 //	GET  /healthz               liveness and current graph version
 //	GET  /readyz                readiness (503 while draining or syncing)

@@ -278,14 +278,17 @@ type MaintainStats = dynamic.Stats
 //	score, err := mt.Score(u, v) // identical to a fresh Compute on the mutated graph
 func NewMaintainer(g *Graph, opts Options) (*Maintainer, error) { return dynamic.New(g, opts) }
 
-// Server is the HTTP JSON serving layer over a live Maintainer: GET /topk
-// and GET /query answer similarity reads through a graph-version-stamped
-// result cache with singleflight coalescing, POST /updates absorbs
-// update-stream batches, GET /healthz and GET /stats expose liveness and
-// serving counters. Every read response is stamped with the graph version
-// it was computed at, and its scores are exactly what a fresh Compute on
-// that snapshot would produce. Mount it on any http.Server and stop it
-// with Shutdown; see the README's "Serving" section.
+// Server is the HTTP JSON serving layer over a live Maintainer. Reads are
+// served by registered workloads — GET /topk and GET /query (similarity),
+// POST /match (pattern matching), POST /align (graph alignment), GET
+// /nodesim (pairwise node similarity) — all through one graph-version-
+// stamped result cache with singleflight coalescing and admission
+// control; POST /updates absorbs update-stream batches, GET /healthz and
+// GET /stats expose liveness and per-endpoint serving counters. Every
+// read response is stamped with the graph version it was computed at, and
+// its result is exactly what the underlying library call on that snapshot
+// would produce. Mount it on any http.Server and stop it with Shutdown;
+// see the README's "Serving" and "Served scenarios" sections.
 type Server = server.Server
 
 // ServerOptions tunes the serving layer: result-cache size and sharding,
@@ -309,6 +312,27 @@ func NewServer(g *Graph, opts Options, sopts ServerOptions) (*Server, error) {
 func NewServerFromMaintainer(mt *Maintainer, sopts ServerOptions) *Server {
 	return server.NewFromMaintainer(mt, sopts)
 }
+
+// Workload is one served scenario: its route metadata (Spec) plus the
+// request-scoped preparation that yields a cache key and a compute
+// closure. Registered workloads ride the server's shared cache,
+// coalescing, admission control, and per-endpoint counters, and the
+// cluster router learns their routes and shard keys from the registry —
+// a new endpoint needs no server or router changes.
+type Workload = server.Workload
+
+// WorkloadSpec is a workload's registry metadata: name, route, method,
+// admission class, and the query parameters the cluster router shards by.
+type WorkloadSpec = server.WorkloadSpec
+
+// RegisterWorkload adds a workload to the serving registry (call from an
+// init function, before servers are constructed). It panics on name or
+// path collisions, like database/sql.Register.
+func RegisterWorkload(w Workload) { server.Register(w) }
+
+// ServerEndpoints lists every registered workload's route metadata — what
+// a router needs to build its forwarding table.
+func ServerEndpoints() []server.EndpointInfo { return server.Endpoints() }
 
 // ErrMaintainerClosed is returned by Maintainer.Apply after Close (for a
 // Server: after Shutdown has drained it).

@@ -24,6 +24,18 @@ func (a *FSimAligner) Name() string { return fmt.Sprintf("FSim_%v", a.Variant) }
 
 // Align implements Aligner.
 func (a *FSimAligner) Align(g1, g2 *graph.Graph) [][]graph.NodeID {
+	out, err := a.AlignGraphs(g1, g2)
+	if err != nil {
+		panic(fmt.Sprintf("align: FSim compute failed: %v", err))
+	}
+	return out
+}
+
+// AlignGraphs is the error-returning core Align wraps: the serving tier
+// reports compute failures as request errors, while the experiment harness
+// keeps the panic-on-failure Aligner contract (its inputs are generated, so
+// failure there is a bug).
+func (a *FSimAligner) AlignGraphs(g1, g2 *graph.Graph) ([][]graph.NodeID, error) {
 	opts := core.DefaultOptions(a.Variant)
 	opts.Label = strsim.Indicator
 	opts.Theta = 1
@@ -33,12 +45,12 @@ func (a *FSimAligner) Align(g1, g2 *graph.Graph) [][]graph.NodeID {
 	opts.Threads = a.Threads
 	res, err := core.Compute(g1, g2, opts)
 	if err != nil {
-		panic(fmt.Sprintf("align: FSim compute failed: %v", err))
+		return nil, err
 	}
 	out := make([][]graph.NodeID, g1.NumNodes())
 	for u := 0; u < g1.NumNodes(); u++ {
 		au, _ := res.ArgMax(graph.NodeID(u))
 		out[u] = au
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fsim/internal/dataset"
+	"fsim/internal/server"
+)
+
+// pairScoreWorkload is a read endpoint that did not exist when the router
+// was written: registering it is the entire integration. The router must
+// forward and shard it purely from the registry metadata — the satellite
+// contract of the workload-plugin refactor.
+type pairScoreWorkload struct{}
+
+func (pairScoreWorkload) Spec() server.WorkloadSpec {
+	return server.WorkloadSpec{
+		Name:           "pairscore",
+		Path:           "/pairscore",
+		Method:         http.MethodGet,
+		Admission:      server.AdmitNone,
+		ShardKeyParams: []string{"node"},
+	}
+}
+
+func (pairScoreWorkload) Prepare(s *server.Server, r *http.Request) (string, server.ComputeFunc, error) {
+	node := r.URL.Query().Get("node")
+	if node == "" {
+		return "", nil, fmt.Errorf("missing query parameter %q", "node")
+	}
+	return node, func() ([]byte, uint64, error) {
+		body, err := json.Marshal(map[string]string{"node": node})
+		return body, 0, err
+	}, nil
+}
+
+// uploadSumWorkload is a registered POST endpoint with no shard params: the
+// router must shard it by a hash of the uploaded body and replay that body
+// to the replica.
+type uploadSumWorkload struct{}
+
+func (uploadSumWorkload) Spec() server.WorkloadSpec {
+	return server.WorkloadSpec{
+		Name:      "uploadsum",
+		Path:      "/uploadsum",
+		Method:    http.MethodPost,
+		Admission: server.AdmitNone,
+	}
+}
+
+func (uploadSumWorkload) Prepare(s *server.Server, r *http.Request) (string, server.ComputeFunc, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return "", nil, err
+	}
+	n := len(body)
+	return fmt.Sprintf("%d", n), func() ([]byte, uint64, error) {
+		out, err := json.Marshal(map[string]int{"bytes": n})
+		return out, 0, err
+	}, nil
+}
+
+func init() {
+	// Register BEFORE any router is built: the point of the test is that
+	// nothing else — no router edit, no switch case — is needed.
+	server.Register(pairScoreWorkload{})
+	server.Register(uploadSumWorkload{})
+}
+
+// replicaStub is a backend that satisfies the router's probe and records
+// which paths/bodies reached it.
+type replicaStub struct {
+	id     string
+	gets   []string // RequestURIs of forwarded reads
+	bodies []string // bodies of forwarded POSTs
+}
+
+func (rs *replicaStub) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if r.Method == http.MethodPost {
+			b, _ := io.ReadAll(r.Body)
+			rs.bodies = append(rs.bodies, string(b))
+		} else {
+			rs.gets = append(rs.gets, r.URL.RequestURI())
+		}
+		w.Header().Set(server.VersionHeader, "0")
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"replica\":%q}\n", rs.id)
+	})
+}
+
+// TestRouterRoutesRegisteredWorkloads proves the satellite contract: a
+// workload registered after the router was written is routed — correct
+// method enforcement, forwarding, and deterministic sharding by its
+// declared shard-key params (or body hash) — with zero router changes.
+func TestRouterRoutesRegisteredWorkloads(t *testing.T) {
+	a := &replicaStub{id: "a"}
+	b := &replicaStub{id: "b"}
+	sa := httptest.NewServer(a.handler())
+	defer sa.Close()
+	sb := httptest.NewServer(b.handler())
+	defer sb.Close()
+
+	rt, err := NewRouter(RouterOptions{Leader: sa.URL, Replicas: []string{sa.URL, sb.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	get := func(target string) (string, int) {
+		t.Helper()
+		resp, err := http.Get(front.URL + target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.StatusCode
+	}
+
+	// The GET workload: forwarded with its query string intact, and the
+	// same shard key always lands on the ring-chosen replica.
+	for round := 0; round < 3; round++ {
+		for node := 0; node < 8; node++ {
+			body, code := get(fmt.Sprintf("/pairscore?node=%d", node))
+			if code != http.StatusOK {
+				t.Fatalf("GET /pairscore?node=%d: status %d: %s", node, code, body)
+			}
+			want := "a"
+			if rt.Ring().PickN(fmt.Sprintf("node=%d", node), 2)[0] == sb.URL {
+				want = "b"
+			}
+			if !strings.Contains(body, fmt.Sprintf("%q", want)) {
+				t.Fatalf("GET /pairscore?node=%d went to %s, ring says %s", node, body, want)
+			}
+		}
+	}
+	forwarded := map[string]bool{}
+	for _, uri := range append(append([]string{}, a.gets...), b.gets...) {
+		forwarded[uri] = true
+	}
+	for node := 0; node < 8; node++ {
+		if uri := fmt.Sprintf("/pairscore?node=%d", node); !forwarded[uri] {
+			t.Errorf("replicas never saw %s", uri)
+		}
+	}
+
+	// Wrong method is refused at the router, per the registry's metadata.
+	resp, err := http.Post(front.URL+"/pairscore?node=1", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST to GET-only registered endpoint: status %d, want 405", resp.StatusCode)
+	}
+
+	// The POST workload: body is replayed to the replica, and equal bodies
+	// shard to the same replica (body-hash key), deterministically.
+	postTo := map[string]string{}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 4; i++ {
+			payload := fmt.Sprintf("payload-%d", i)
+			resp, err := http.Post(front.URL+"/uploadsum", "text/plain", strings.NewReader(payload))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST /uploadsum: status %d: %s", resp.StatusCode, body)
+			}
+			var got struct{ Replica string }
+			if err := json.Unmarshal(body, &got); err != nil {
+				t.Fatalf("POST /uploadsum response %q: %v", body, err)
+			}
+			if prev, seen := postTo[payload]; seen && prev != got.Replica {
+				t.Fatalf("payload %q routed to %s then %s: body-hash sharding is not deterministic", payload, prev, got.Replica)
+			}
+			postTo[payload] = got.Replica
+		}
+	}
+	seen := map[string]bool{}
+	for _, body := range append(append([]string{}, a.bodies...), b.bodies...) {
+		seen[body] = true
+	}
+	for i := 0; i < 4; i++ {
+		if payload := fmt.Sprintf("payload-%d", i); !seen[payload] {
+			t.Errorf("no replica received body %q", payload)
+		}
+	}
+}
+
+// TestRegisteredWorkloadServedEndToEnd drives the same two registered
+// workloads through a real server (not a stub): the serving core must mux,
+// count, and answer them with no server changes either.
+func TestRegisteredWorkloadServedEndToEnd(t *testing.T) {
+	g := dataset.RandomGraph(11, 18, 54, 3)
+	_, hs := newLeader(t, g, server.Options{})
+
+	resp, err := http.Get(hs.URL + "/pairscore?node=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /pairscore on a real server: status %d: %s", resp.StatusCode, body)
+	}
+	if want := "{\"node\":\"7\"}\n"; string(body) != want {
+		t.Fatalf("GET /pairscore body %q, want %q", body, want)
+	}
+
+	statsResp, err := http.Get(hs.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr server.StatsResponse
+	err = json.NewDecoder(statsResp.Body).Decode(&sr)
+	statsResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Requests["pairscore"] != 1 {
+		t.Fatalf("stats requests[pairscore] = %d, want 1", sr.Requests["pairscore"])
+	}
+	if _, ok := sr.Cache["pairscore"]; !ok {
+		t.Fatalf("stats cache map has no %q block: %v", "pairscore", sr.Cache)
+	}
+}

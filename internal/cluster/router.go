@@ -1,13 +1,17 @@
 package cluster
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"fsim/internal/server"
 	"fsim/internal/stats"
 )
 
@@ -57,6 +61,12 @@ type Router struct {
 	ring *Ring
 	hc   *http.Client
 
+	// routes is the read-endpoint table, generated from the server's
+	// workload registry (server.Endpoints()) at construction: a workload
+	// registered before NewRouter is forwarded and sharded with zero
+	// router changes.
+	routes map[string]route
+
 	reads, writes       stats.Counter
 	staleRetries        stats.Counter
 	failovers           stats.Counter
@@ -89,11 +99,15 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		opts.HTTP = http.DefaultClient
 	}
 	rt := &Router{
-		opts: opts,
-		ring: NewRing(opts.VirtualNodes),
-		hc:   opts.HTTP,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		opts:   opts,
+		ring:   NewRing(opts.VirtualNodes),
+		hc:     opts.HTTP,
+		routes: make(map[string]route),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, ep := range server.Endpoints() {
+		rt.routes[ep.Path] = route{method: ep.Method, shardParams: ep.ShardKeyParams}
 	}
 	for _, rep := range opts.Replicas {
 		rt.ring.Add(rep)
@@ -116,11 +130,21 @@ func (rt *Router) Close() {
 // observability).
 func (rt *Router) Ring() *Ring { return rt.ring }
 
-// ServeHTTP routes reads to replicas and writes to the leader.
+// route is one read endpoint's forwarding metadata (from the workload
+// registry's WorkloadSpec).
+type route struct {
+	method      string
+	shardParams []string
+}
+
+// ServeHTTP routes registered read endpoints to replicas and writes to the
+// leader.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if route, ok := rt.routes[r.URL.Path]; ok {
+		rt.handleRead(w, r, route)
+		return
+	}
 	switch r.URL.Path {
-	case "/topk", "/query":
-		rt.handleRead(w, r)
 	case "/updates":
 		rt.handleWrite(w, r)
 	case "/healthz", "/readyz":
@@ -132,12 +156,37 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleRead shards by the `u` query parameter and forwards, honoring the
+// shardKey extracts the consistent-hash key the route's workload declared:
+// the named query parameters ("u=3" — so /topk and /query traffic for one
+// node lands on one replica's caches), or a hash of the request body when
+// the workload shards by uploaded content (repeat /match posts of one
+// pattern hit one replica's cache).
+func shardKey(r *http.Request, rte route, body []byte) string {
+	if len(rte.shardParams) > 0 {
+		q := r.URL.Query()
+		parts := make([]string, len(rte.shardParams))
+		for i, p := range rte.shardParams {
+			parts[i] = p + "=" + q.Get(p)
+		}
+		return strings.Join(parts, "&")
+	}
+	h := fnv.New64a()
+	h.Write([]byte(r.URL.Path))
+	h.Write(body)
+	return "body=" + strconv.FormatUint(h.Sum64(), 16)
+}
+
+// handleRead shards by the route's declared key and forwards, honoring the
 // client's read-your-writes floor: a response stamped older than
 // MinVersionHeader is never relayed — the router waits for the replica to
 // catch up (bounded by ReadRetries) and fails over past ejected replicas.
-func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
+func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request, rte route) {
 	rt.reads.Inc()
+	if r.Method != rte.method {
+		w.Header().Set("Allow", rte.method)
+		writeRouterJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "method not allowed"})
+		return
+	}
 	minVersion := uint64(0)
 	if raw := r.Header.Get(MinVersionHeader); raw != "" {
 		v, err := strconv.ParseUint(raw, 10, 64)
@@ -147,8 +196,18 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 		}
 		minVersion = v
 	}
+	// Buffer the body once so each forwarding attempt can replay it.
+	var body []byte
+	if r.Body != nil && r.Method != http.MethodGet {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeRouterJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		body = b
+	}
 
-	key := "u=" + r.URL.Query().Get("u")
+	key := shardKey(r, rte, body)
 	budget := rt.opts.ReadRetries
 	var lastErr string
 	for budget > 0 {
@@ -158,7 +217,7 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 		}
 		advanced := false
 		for _, replica := range candidates {
-			again, relayed := rt.tryReplica(w, r, replica, minVersion, &budget, &lastErr)
+			again, relayed := rt.tryReplica(w, r, replica, body, minVersion, &budget, &lastErr)
 			if relayed {
 				return
 			}
@@ -185,13 +244,20 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 // retry means the replica is healthy but hasn't reached the version floor
 // yet (the caller should wait and re-pick); neither means the replica was
 // ejected and the next candidate should be tried.
-func (rt *Router) tryReplica(w http.ResponseWriter, r *http.Request, replica string, minVersion uint64, budget *int, lastErr *string) (retry, relayed bool) {
+func (rt *Router) tryReplica(w http.ResponseWriter, r *http.Request, replica string, body []byte, minVersion uint64, budget *int, lastErr *string) (retry, relayed bool) {
 	for *budget > 0 {
 		*budget--
-		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, replica+r.URL.RequestURI(), nil)
+		var reqBody io.Reader
+		if body != nil {
+			reqBody = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, replica+r.URL.RequestURI(), reqBody)
 		if err != nil {
 			*lastErr = err.Error()
 			return false, false
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
 		}
 		resp, err := rt.hc.Do(req)
 		if err != nil {

@@ -167,6 +167,18 @@ func (mt *Maintainer) Graph() *graph.Graph {
 	return mt.snap.Load()
 }
 
+// GraphAt returns the current snapshot together with the version it is at,
+// atomically with respect to Apply. Reading Graph() and Version()
+// separately can interleave with a concurrent update and pair one
+// snapshot's structure with the other's version; whole-graph serving
+// workloads (pattern matching, alignment, structural node measures) need
+// the consistent pair to stamp their responses.
+func (mt *Maintainer) GraphAt() (*graph.Graph, uint64) {
+	mt.mu.RLock()
+	defer mt.mu.RUnlock()
+	return mt.g, mt.ix.Version()
+}
+
 // Options returns the normalized options the maintainer runs with.
 func (mt *Maintainer) Options() core.Options { return mt.opts }
 

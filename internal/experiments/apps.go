@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"fsim/internal/core"
+	"fsim/internal/dataset"
+	"fsim/internal/exact"
+	"fsim/internal/graph"
+	"fsim/internal/server"
+	"fsim/internal/stats"
+)
+
+// appsMode is one load pass over a single served application endpoint.
+type appsMode struct {
+	// Mode is "naive" (cache and coalescing disabled: every request runs
+	// the application core) or "cached" (the serving defaults).
+	Mode          string  `json:"mode"`
+	Requests      int     `json:"requests"`
+	Seconds       float64 `json:"seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	// Per-endpoint cache counters scraped from the /stats "cache" block
+	// the workload registry maintains (always zero in naive mode).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+// appsEndpoint is one served application's block of the report.
+type appsEndpoint struct {
+	Name   string `json:"name"`
+	Method string `json:"method"`
+	// Distinct is the size of the request pool the Zipf traffic draws
+	// from — the working set a result cache can capture.
+	Distinct int        `json:"distinct_requests"`
+	Modes    []appsMode `json:"modes"`
+	// Speedup is cached throughput over naive throughput.
+	Speedup float64 `json:"speedup"`
+}
+
+// appsReport is the BENCH_apps.json document.
+type appsReport struct {
+	Dataset string `json:"dataset"`
+	// NumCPU is the honest-framing denominator: all throughput numbers
+	// come from one process on this many cores.
+	NumCPU    int            `json:"num_cpu"`
+	Transport string         `json:"transport"`
+	Endpoints []appsEndpoint `json:"endpoints"`
+}
+
+// appRequest is one element of an endpoint's traffic pool. A non-empty
+// body makes it a POST.
+type appRequest struct {
+	target string
+	body   string
+}
+
+// Apps load-tests the downstream-application endpoints the workload
+// registry serves — POST /match (pattern matching), POST /align (graph
+// alignment), GET /nodesim (pairwise node similarity) — comparing the
+// naive stack (every request runs the application core) against the cached
+// serving stack on identical Zipf-skewed traffic, endpoint by endpoint.
+// Requests are issued through Server.ServeHTTP in-process, so the numbers
+// measure the serving layer (registry dispatch, canonical body hashing,
+// cache, coalescing, the application cores, JSON), not the kernel's TCP
+// stack. Writes BENCH_apps.json (in Config.JSONDir, default the working
+// directory).
+func Apps(cfg Config) error {
+	opts := core.DefaultOptions(exact.BJ)
+	opts.Threads = cfg.Threads
+	opts.Epsilon = 1e-300 // unreachable: every computation runs exactly MaxIters rounds
+	opts.RelativeEps = false
+	opts.MaxIters = 12
+	opts.Theta = 0.6
+	opts.UpperBoundOpt = &core.UpperBound{Alpha: 0.3, Beta: 0.5}
+
+	scale, clients, reads, distinct := 90, 4, 150, 12
+	if cfg.Quick {
+		scale, clients, reads, distinct = 240, 2, 25, 6
+	}
+	spec := dataset.MustPaperSpec("NELL", scale)
+	spec.Seed += cfg.Seed
+	g := spec.Generate()
+
+	endpoints := []struct {
+		name   string
+		method string
+		pool   []appRequest
+	}{
+		{"match", http.MethodPost, matchTraffic(g, distinct)},
+		{"align", http.MethodPost, alignTraffic(g, distinct)},
+		{"nodesim", http.MethodGet, nodesimTraffic(g, distinct)},
+	}
+
+	report := appsReport{
+		Dataset: "NELL stand-in", NumCPU: runtime.NumCPU(),
+		Transport: "in-process handler",
+	}
+	for i := range endpoints {
+		report.Endpoints = append(report.Endpoints, appsEndpoint{
+			Name: endpoints[i].name, Method: endpoints[i].method,
+			Distinct: len(endpoints[i].pool),
+		})
+	}
+	tab := &table{headers: []string{"endpoint", "mode", "requests", "throughput", "mean latency", "hits", "misses", "speedup"}}
+
+	for _, mode := range []string{"naive", "cached"} {
+		sopts := server.Options{MaxInFlight: -1}
+		if mode == "naive" {
+			sopts.CacheEntries = -1
+			sopts.DisableCoalescing = true
+		}
+		srv, err := server.New(g, opts, sopts)
+		if err != nil {
+			return err
+		}
+		for ei := range endpoints {
+			run, err := runAppLoad(srv, clients, reads, endpoints[ei].pool)
+			if err != nil {
+				return err
+			}
+			run.Mode = mode
+			// The registry's per-endpoint cache counters attribute hits
+			// and misses to this workload alone, so one cumulative scrape
+			// is exact even though the loads share a server.
+			cs, err := scrapeEndpointCache(srv, endpoints[ei].name)
+			if err != nil {
+				return err
+			}
+			run.CacheHits, run.CacheMisses = cs.Hits, cs.Misses
+			ep := &report.Endpoints[ei]
+			ep.Modes = append(ep.Modes, run)
+			if len(ep.Modes) == 2 && ep.Modes[0].ThroughputRPS > 0 {
+				ep.Speedup = ep.Modes[1].ThroughputRPS / ep.Modes[0].ThroughputRPS
+			}
+			tab.add(ep.Name, mode, fmt.Sprint(run.Requests),
+				fmt.Sprintf("%.0f req/s", run.ThroughputRPS),
+				fmt.Sprintf("%.3fms", run.MeanLatencyMs),
+				fmt.Sprint(run.CacheHits), fmt.Sprint(run.CacheMisses),
+				appsSpeedupCell(*ep))
+		}
+	}
+	tab.write(cfg.out())
+
+	dir := cfg.JSONDir
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_apps.json")
+	data, err := json.MarshalIndent(report, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out(), "\nwrote %s\n", path)
+	return nil
+}
+
+func appsSpeedupCell(ep appsEndpoint) string {
+	if len(ep.Modes) < 2 || ep.Modes[0].ThroughputRPS == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", ep.Modes[1].ThroughputRPS/ep.Modes[0].ThroughputRPS)
+}
+
+// hotCenters spreads `n` pool anchors evenly across the graph's node range.
+func hotCenters(g *graph.Graph, n int) []graph.NodeID {
+	if n > g.NumNodes() {
+		n = g.NumNodes()
+	}
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(i * (g.NumNodes() / n))
+	}
+	return out
+}
+
+// ballBody serializes the ≤limit-node ball around center as a /match or
+// /align upload in the graph text format.
+func ballBody(g *graph.Graph, center graph.NodeID, limit int) string {
+	sub := g.Ball(center, 1)
+	nodes := sub.ToParent
+	if len(nodes) > limit {
+		nodes = nodes[:limit]
+	}
+	var buf bytes.Buffer
+	if err := g.Induced(nodes).Graph.Write(&buf); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	return buf.String()
+}
+
+// matchTraffic builds the /match pool: small query graphs cut from balls
+// around the hot anchors, matched under the cheap simple-simulation
+// variant.
+func matchTraffic(g *graph.Graph, distinct int) []appRequest {
+	var pool []appRequest
+	for _, u := range hotCenters(g, distinct) {
+		pool = append(pool, appRequest{target: "/match?variant=s", body: ballBody(g, u, 4)})
+	}
+	return pool
+}
+
+// alignTraffic builds the /align pool: slightly larger ball subgraphs
+// aligned against the live graph under the default bj variant (θ = 1
+// keeps the candidate set tight).
+func alignTraffic(g *graph.Graph, distinct int) []appRequest {
+	var pool []appRequest
+	for _, u := range hotCenters(g, distinct) {
+		pool = append(pool, appRequest{target: "/align", body: ballBody(g, u, 8)})
+	}
+	return pool
+}
+
+// nodesimTraffic builds the /nodesim pool: hot node pairs cycling through
+// the three served measures (the structural pair scores and the localized
+// FSim query).
+func nodesimTraffic(g *graph.Graph, distinct int) []appRequest {
+	measures := []string{"jaccard", "simgram", "fsim"}
+	centers := hotCenters(g, distinct)
+	var pool []appRequest
+	for i, u := range centers {
+		v := centers[(i+1)%len(centers)]
+		if u == v {
+			continue
+		}
+		pool = append(pool, appRequest{
+			target: fmt.Sprintf("/nodesim?u=%d&v=%d&measure=%s", u, v, measures[i%len(measures)]),
+		})
+	}
+	return pool
+}
+
+// runAppLoad drives one endpoint's pool against srv: `clients` goroutines
+// each issue `reads` requests drawn Zipf-skewed from the pool (rank 0 the
+// hottest), all of which must answer 200.
+func runAppLoad(srv *server.Server, clients, reads int, pool []appRequest) (appsMode, error) {
+	total := clients * reads
+	var lat stats.Latency
+	errCh := make(chan error, clients)
+	done := make(chan struct{}, clients)
+
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			rng := rand.New(rand.NewSource(int64(9000 + c)))
+			zipf := rand.NewZipf(rng, 1.3, 1, uint64(len(pool)-1))
+			for j := 0; j < reads; j++ {
+				req := pool[zipf.Uint64()]
+				method := http.MethodGet
+				var body *strings.Reader
+				if req.body != "" {
+					method = http.MethodPost
+					body = strings.NewReader(req.body)
+				} else {
+					body = strings.NewReader("")
+				}
+				r := httptest.NewRequest(method, req.target, body)
+				w := httptest.NewRecorder()
+				t0 := time.Now()
+				srv.ServeHTTP(w, r)
+				lat.Observe(time.Since(t0))
+				if w.Code != http.StatusOK {
+					errCh <- fmt.Errorf("apps: %s %s: status %d: %s", method, req.target, w.Code, w.Body.String())
+					return
+				}
+			}
+			done <- struct{}{}
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		select {
+		case err := <-errCh:
+			return appsMode{}, err
+		case <-done:
+		}
+	}
+	elapsed := time.Since(start)
+
+	return appsMode{
+		Requests:      total,
+		Seconds:       elapsed.Seconds(),
+		ThroughputRPS: float64(total) / elapsed.Seconds(),
+		MeanLatencyMs: float64(lat.Mean()) / float64(time.Millisecond),
+	}, nil
+}
+
+// scrapeEndpointCache reads one workload's cache counter block from
+// /stats (zero when caching is disabled).
+func scrapeEndpointCache(srv *server.Server, name string) (server.CacheEndpointStats, error) {
+	r := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	var sr server.StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &sr); err != nil {
+		return server.CacheEndpointStats{}, err
+	}
+	return sr.Cache[name], nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateEquivalence = flag.Bool("update-equivalence", false,
+	"rewrite testdata/equiv_*.golden from the current experiment cores")
+
+// equivalenceCases lists the experiments whose result tables must not move
+// when the serving layer is refactored: table6 (pattern matching), table7
+// and table8 (node similarity), and table9 (alignment) call the exact same
+// cores the /match, /nodesim, and /align endpoints serve. Each case keeps
+// only the deterministic portion of the output — wall-clock sections are
+// cut by marker or row label.
+var equivalenceCases = []struct {
+	id string
+	// truncateAt drops everything from this marker on ("" keeps all).
+	truncateAt string
+	// dropRows removes table rows whose first field matches (timings
+	// embedded inside an otherwise deterministic table).
+	dropRows string
+}{
+	{id: "table6", truncateAt: "Mean time per query:"},
+	{id: "table7"},
+	{id: "table8", dropRows: "time"},
+	{id: "table9", truncateAt: "Alignment time (G1-G2):"},
+}
+
+// deterministicPortion reduces raw experiment output to the part that must
+// be byte-stable across runs and refactors: timing sections removed, runs
+// of padding spaces collapsed (column widths may depend on timing cells),
+// trailing whitespace stripped.
+func deterministicPortion(out, truncateAt, dropRows string) string {
+	if truncateAt != "" {
+		if i := strings.Index(out, truncateAt); i >= 0 {
+			out = out[:i]
+		}
+	}
+	var lines []string
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if dropRows != "" && len(fields) > 0 && fields[0] == dropRows {
+			continue
+		}
+		lines = append(lines, strings.Join(fields, " "))
+	}
+	return strings.TrimRight(strings.Join(lines, "\n"), "\n") + "\n"
+}
+
+// TestExperimentOutputPinned locks the downstream-application experiments
+// to golden files captured before the workload-plugin refactor. The served
+// endpoints (/match, /align, /nodesim) and these experiments now share one
+// set of cores — pattern.FSimMatcher.MatchGraph, align.FSimAligner
+// .AlignGraphs, the nodesim measures — so any drift the refactor (or a
+// future serving change) introduces in those cores shows up here as a
+// golden mismatch, not as silently shifted paper tables.
+func TestExperimentOutputPinned(t *testing.T) {
+	for _, tc := range equivalenceCases {
+		t.Run(tc.id, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := Config{Out: &buf, Quick: true, Threads: 1}
+			if err := Run(tc.id, cfg); err != nil {
+				t.Fatal(err)
+			}
+			got := deterministicPortion(buf.String(), tc.truncateAt, tc.dropRows)
+			path := filepath.Join("testdata", fmt.Sprintf("equiv_%s.golden", tc.id))
+			if *updateEquivalence {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-equivalence to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from the pinned pre-refactor table.\n--- got ---\n%s--- want ---\n%s",
+					tc.id, got, want)
+			}
+		})
+	}
+}

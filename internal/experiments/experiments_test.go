@@ -23,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the evaluation section must be present,
 	// plus the repo's own delta-convergence and top-k query benchmarks.
 	want := []string{"table2", "table5", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta", "topk", "dynamic", "serve", "snapshot", "scale", "compress", "cluster"}
+		"fig8", "fig9", "table6", "table7", "table8", "table9", "delta", "topk", "dynamic", "serve", "snapshot", "scale", "compress", "cluster", "apps"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -510,6 +510,88 @@ func TestSnapshotExperiment(t *testing.T) {
 		}
 	}
 	if !strings.Contains(buf.String(), "BENCH_snapshot.json") {
+		t.Fatal("experiment did not report the artifact path")
+	}
+}
+
+// TestAppsExperiment runs the application-endpoint load test at smoke
+// size and validates the BENCH_apps.json artifact: all three served
+// applications (/match, /align, /nodesim) carry a naive and a cached pass
+// over identical traffic, the cached pass hits each endpoint's own cache
+// block (the registry's per-endpoint attribution), and the naive pass
+// never does.
+func TestAppsExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := quickCfg(&buf)
+	cfg.JSONDir = t.TempDir()
+	if err := Apps(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.JSONDir, "BENCH_apps.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		NumCPU    int `json:"num_cpu"`
+		Endpoints []struct {
+			Name     string `json:"name"`
+			Method   string `json:"method"`
+			Distinct int    `json:"distinct_requests"`
+			Modes    []struct {
+				Mode        string  `json:"mode"`
+				Requests    int     `json:"requests"`
+				Throughput  float64 `json:"throughput_rps"`
+				CacheHits   int64   `json:"cache_hits"`
+				CacheMisses int64   `json:"cache_misses"`
+			} `json:"modes"`
+			Speedup float64 `json:"speedup"`
+		} `json:"endpoints"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.NumCPU <= 0 {
+		t.Error("NumCPU missing from the report (the honest-framing denominator)")
+	}
+	wantNames := []string{"match", "align", "nodesim"}
+	if len(report.Endpoints) != len(wantNames) {
+		t.Fatalf("report has %d endpoints, want %v", len(report.Endpoints), wantNames)
+	}
+	for i, ep := range report.Endpoints {
+		if ep.Name != wantNames[i] {
+			t.Fatalf("endpoint[%d] = %s, want %s", i, ep.Name, wantNames[i])
+		}
+		if ep.Distinct == 0 {
+			t.Errorf("%s: empty request pool", ep.Name)
+		}
+		if len(ep.Modes) != 2 || ep.Modes[0].Mode != "naive" || ep.Modes[1].Mode != "cached" {
+			t.Fatalf("%s: modes %+v, want [naive cached]", ep.Name, ep.Modes)
+		}
+		naive, cached := ep.Modes[0], ep.Modes[1]
+		if naive.Requests == 0 || naive.Requests != cached.Requests {
+			t.Fatalf("%s: unequal request counts %d vs %d", ep.Name, naive.Requests, cached.Requests)
+		}
+		if naive.Throughput <= 0 || cached.Throughput <= 0 {
+			t.Errorf("%s: missing throughput (%v, %v)", ep.Name, naive.Throughput, cached.Throughput)
+		}
+		if naive.CacheHits != 0 || naive.CacheMisses != 0 {
+			t.Errorf("%s: naive mode touched a cache (%d hits, %d misses)", ep.Name, naive.CacheHits, naive.CacheMisses)
+		}
+		if cached.CacheHits == 0 {
+			t.Errorf("%s: cached mode never hit its cache", ep.Name)
+		}
+		// The Zipf pool is far smaller than the request count, so misses
+		// (one per distinct key at most, modulo coalescing) must stay
+		// below hits.
+		if cached.CacheMisses >= cached.CacheHits {
+			t.Errorf("%s: %d misses vs %d hits — the hot set is not being captured",
+				ep.Name, cached.CacheMisses, cached.CacheHits)
+		}
+		if ep.Speedup <= 0 {
+			t.Errorf("%s: missing speedup", ep.Name)
+		}
+	}
+	if !strings.Contains(buf.String(), "BENCH_apps.json") {
 		t.Fatal("experiment did not report the artifact path")
 	}
 }

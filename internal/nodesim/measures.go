@@ -156,14 +156,10 @@ func (NSimGram) VenueScores(n *Network) [][]float64 {
 	nv := len(n.Venues)
 	profiles := make([]map[string]float64, nv)
 	for i, v := range n.Venues {
-		prof := map[string]float64{}
-		for _, paper := range g.In(v) {
-			for _, author := range g.In(paper) {
-				gram := "V|P|" + g.NodeLabelName(author)
-				prof[gram]++
-			}
-		}
-		profiles[i] = prof
+		// The generic 3-gram profile: for a venue ("V" ← "P" ← author) the
+		// grams are exactly the V|P|author-name community profile. Shared
+		// with the served pairwise form (GramJaccard).
+		profiles[i] = gramProfile(g, v)
 	}
 	out := make([][]float64, nv)
 	for i := range profiles {

@@ -1,0 +1,84 @@
+package nodesim
+
+import (
+	"fmt"
+
+	"fsim/internal/graph"
+)
+
+// PairMeasure scores the similarity of one node pair on an arbitrary graph.
+// It is the serving-tier counterpart of Measure: /nodesim answers one
+// (u, v) question against the live graph, while the Table 7/8 harness
+// scores all venue pairs of a Network. The structural measures below are
+// deterministic functions of the graph alone, so a response cached at a
+// graph version stays exact for that version.
+type PairMeasure interface {
+	Name() string
+	// PairScore scores (u, v) on g. Both nodes must be in range; the
+	// caller validates.
+	PairScore(g *graph.Graph, u, v graph.NodeID) float64
+}
+
+// PairMeasureByName resolves the serving-tier measure registry. FSim itself
+// is not listed here: the server answers measure=fsim from the incremental
+// index (bit-exact with /query), not from a whole-graph recompute.
+func PairMeasureByName(name string) (PairMeasure, error) {
+	switch name {
+	case "jaccard":
+		return NeighborJaccard{}, nil
+	case "simgram":
+		return GramJaccard{}, nil
+	}
+	return nil, fmt.Errorf("nodesim: unknown measure %q", name)
+}
+
+// NeighborJaccard is the weighted Jaccard overlap of label-annotated
+// neighborhoods: each node contributes the multiset of its out- and
+// in-neighbor labels (direction-tagged), and similarity is weightedJaccard
+// of the two multisets. It is the one-step special case of the gram
+// profiles below.
+type NeighborJaccard struct{}
+
+func (NeighborJaccard) Name() string { return "jaccard" }
+
+func (NeighborJaccard) PairScore(g *graph.Graph, u, v graph.NodeID) float64 {
+	return weightedJaccard(neighborProfile(g, u), neighborProfile(g, v))
+}
+
+func neighborProfile(g *graph.Graph, u graph.NodeID) map[string]float64 {
+	prof := map[string]float64{}
+	for _, x := range g.Out(u) {
+		prof[">"+g.NodeLabelName(x)]++
+	}
+	for _, x := range g.In(u) {
+		prof["<"+g.NodeLabelName(x)]++
+	}
+	return prof
+}
+
+// GramJaccard is the pairwise form of NSimGram: weighted Jaccard of the
+// nodes' 3-gram profiles (see gramProfile). On the DBIS network it scores
+// venue pairs identically to NSimGram.VenueScores.
+type GramJaccard struct{}
+
+func (GramJaccard) Name() string { return "simgram" }
+
+func (GramJaccard) PairScore(g *graph.Graph, u, v graph.NodeID) float64 {
+	return weightedJaccard(gramProfile(g, u), gramProfile(g, v))
+}
+
+// gramProfile collects the q=3 gram profile of u following nSimGram (Conte
+// et al., KDD'18): one gram label(u)|label(x)|label(y) per in-walk
+// u ← x ← y, with multiplicity. On a bibliographic network with u a venue
+// this is the venue's author community: V|P|author-name grams.
+func gramProfile(g *graph.Graph, u graph.NodeID) map[string]float64 {
+	prof := map[string]float64{}
+	lu := g.NodeLabelName(u)
+	for _, x := range g.In(u) {
+		prefix := lu + "|" + g.NodeLabelName(x) + "|"
+		for _, y := range g.In(x) {
+			prof[prefix+g.NodeLabelName(y)]++
+		}
+	}
+	return prof
+}

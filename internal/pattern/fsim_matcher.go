@@ -27,16 +27,31 @@ func (m *FSimMatcher) Name() string { return fmt.Sprintf("FSim_%v", m.Variant) }
 
 // Match implements Matcher.
 func (m *FSimMatcher) Match(q, g *graph.Graph) *Match {
+	match, err := m.MatchGraph(q, g)
+	if err != nil {
+		return nil
+	}
+	return match
+}
+
+// MatchGraph is the error-returning core Match wraps: the serving tier needs
+// the cause (bad query graph vs. empty data graph) to pick a status code,
+// while the experiment harness keeps the nil-on-failure Matcher contract.
+func (m *FSimMatcher) MatchGraph(q, g *graph.Graph) (*Match, error) {
 	opts := core.DefaultOptions(m.Variant)
 	opts.Label = strsim.Indicator // product labels carry clear semantics (§5.4)
 	opts.Threads = m.Threads
 	res, err := core.Compute(q, g, opts)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("pattern: FSim compute failed: %w", err)
 	}
-	return expandFromSeeds(q, g, func(qn, dn graph.NodeID) float64 {
+	match := expandFromSeeds(q, g, func(qn, dn graph.NodeID) float64 {
 		return res.Score(qn, dn)
 	})
+	if match == nil {
+		return nil, fmt.Errorf("pattern: no match for %d-node query on %d-node graph", q.NumNodes(), g.NumNodes())
+	}
+	return match, nil
 }
 
 // expandFromSeeds implements the shared match-generation protocol: take the

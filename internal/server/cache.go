@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"hash/maphash"
+	"strings"
 	"sync"
 
 	"fsim/internal/stats"
@@ -10,7 +11,8 @@ import (
 
 // resultCache is the version-stamped result cache: a sharded LRU over
 // marshaled response bodies, keyed by strings that embed the graph version
-// the result was computed at ("t/<u>/<k>/<version>"). Because the version
+// the result was computed at ("topk/<u>/<k>/<version>",
+// "match/<variant>/<bodyhash>/<version>", …). Because the version
 // is part of the key, an entry can never be served for a newer snapshot —
 // staleness is structurally impossible, independent of invalidation
 // timing. Invalidation (purgeOlder, driven by the maintainer's apply hook)
@@ -23,14 +25,20 @@ import (
 type resultCache struct {
 	seed   maphash.Seed
 	shards []*cacheShard
-	// Per-endpoint traffic counters, attributed by key prefix ("t/..." =
-	// /topk, "q/..." = /query). Hits and misses measure lookup traffic;
-	// evictions count entries displaced by LRU capacity pressure and
-	// purges the ones dropped by version-bump invalidation — the split the
-	// router's ring decisions and the cluster experiment read: a hot
-	// eviction rate means the cache is too small, a hot purge rate means
-	// the write stream is outrunning the read working set.
-	topk, query endpointCacheStats
+	// endpoints holds the per-endpoint traffic counters, attributed by the
+	// key prefix up to the first '/' — the workload name every cache key
+	// starts with. The map is populated by registerEndpoint during server
+	// construction and read-only afterwards, so the hot path needs no
+	// lock. Hits and misses measure lookup traffic; evictions count
+	// entries displaced by LRU capacity pressure and purges the ones
+	// dropped by version-bump invalidation — the split the router's ring
+	// decisions and the cluster experiment read: a hot eviction rate means
+	// the cache is too small, a hot purge rate means the write stream is
+	// outrunning the read working set.
+	endpoints map[string]*endpointCacheStats
+	// other absorbs keys with no registered prefix (unreachable in a
+	// wired server; keeps direct cache tests safe).
+	other endpointCacheStats
 }
 
 // endpointCacheStats is one endpoint's cache counter block.
@@ -38,12 +46,32 @@ type endpointCacheStats struct {
 	hits, misses, evictions, purged stats.Counter
 }
 
+// registerEndpoint adds a counter block for one workload name. Must be
+// called before the cache serves traffic (counters is lock-free).
+func (c *resultCache) registerEndpoint(name string) {
+	c.endpoints[name] = &endpointCacheStats{}
+}
+
 // counters attributes a cache key to its endpoint's counter block.
 func (c *resultCache) counters(key string) *endpointCacheStats {
-	if len(key) > 0 && key[0] == 'q' {
-		return &c.query
+	name := key
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		name = key[:i]
 	}
-	return &c.topk
+	if s, ok := c.endpoints[name]; ok {
+		return s
+	}
+	return &c.other
+}
+
+// endpointSnapshots exports every registered endpoint's counter block (the
+// /stats "cache" map).
+func (c *resultCache) endpointSnapshots() map[string]CacheEndpointStats {
+	out := make(map[string]CacheEndpointStats, len(c.endpoints))
+	for name, s := range c.endpoints {
+		out[name] = s.snapshot()
+	}
+	return out
 }
 
 // CacheEndpointStats is the exported snapshot of one endpoint's cache
@@ -87,7 +115,11 @@ func newResultCache(capacity, shards int) *resultCache {
 		shards = capacity
 	}
 	per, extra := capacity/shards, capacity%shards
-	c := &resultCache{seed: maphash.MakeSeed(), shards: make([]*cacheShard, shards)}
+	c := &resultCache{
+		seed:      maphash.MakeSeed(),
+		shards:    make([]*cacheShard, shards),
+		endpoints: map[string]*endpointCacheStats{},
+	}
 	for i := range c.shards {
 		n := per
 		if i < extra {

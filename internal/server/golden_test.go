@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fsim/internal/dataset"
+	"fsim/internal/graph"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the served-response golden file")
+
+// goldenEntry is one recorded request/response pair.
+type goldenEntry struct {
+	Method string `json:"method"`
+	Target string `json:"target"`
+	Status int    `json:"status"`
+	Body   string `json:"body"`
+}
+
+const goldenPath = "testdata/served_golden.json"
+
+// TestServedResponsesGolden pins the /topk and /query wire format byte for
+// byte: the workload-registry refactor (and any later serving change) must
+// keep responses identical to the recorded pre-refactor bodies at the same
+// graph version — status, JSON field order, number formatting, trailing
+// newline, everything. Regenerate deliberately with -update-golden.
+func TestServedResponsesGolden(t *testing.T) {
+	g := dataset.RandomGraph(11, 18, 54, 3)
+	s := newTestServer(t, g, Options{})
+
+	// The request schedule: reads at version 0, one always-effective update
+	// batch, the same reads at version 1 (plus selected error paths, whose
+	// bodies are part of the wire contract too).
+	mirror := graph.MutableOf(g)
+	var batch []string
+	for i := 0; i < 2; i++ {
+		c := effectiveChange(mirror, int64(40+i))
+		if _, err := mirror.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, c.String())
+	}
+
+	var targets []string
+	for u := 0; u < g.NumNodes(); u += 3 {
+		targets = append(targets, fmt.Sprintf("/topk?u=%d&k=4", u))
+		targets = append(targets, fmt.Sprintf("/query?u=%d&v=%d", u, (u+5)%g.NumNodes()))
+	}
+	targets = append(targets,
+		"/topk?u=99&k=3",  // out of range
+		"/topk?u=0&k=0",   // k must be positive
+		"/query?u=0&v=99", // out of range
+	)
+
+	var got []goldenEntry
+	record := func(method, target, body string) {
+		w := do(t, s, method, target, body, nil)
+		e := goldenEntry{Method: method, Target: target, Status: w.Code, Body: w.Body.String()}
+		if target == "/updates" {
+			// The update body carries a wall-clock durationMs; only its
+			// status is deterministic.
+			e.Body = ""
+		}
+		got = append(got, e)
+	}
+	for _, target := range targets {
+		record(http.MethodGet, target, "")
+	}
+	record(http.MethodPost, "/updates", strings.Join(batch, "\n")+"\n")
+	for _, target := range targets {
+		record(http.MethodGet, target, "")
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d entries to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d responses, golden has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s %s:\n got %d %q\nwant %d %q",
+				want[i].Method, want[i].Target, got[i].Status, got[i].Body, want[i].Status, want[i].Body)
+		}
+	}
+}

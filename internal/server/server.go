@@ -2,10 +2,21 @@
 // query.Index + dynamic.Maintainer pair, built for concurrent read traffic
 // against an evolving graph.
 //
-// Endpoints (all responses are JSON):
+// Read endpoints are Workloads: registered computations the mux, cache
+// counters, and the cluster router's route table are generated from (see
+// workload.go). The builtin registrations (all responses are JSON):
 //
-//	GET  /topk?u=<node>&k=<n>   top-k most similar nodes for u
-//	GET  /query?u=<u>&v=<v>     the single score FSimχ(u, v)
+//	GET  /topk?u=<node>&k=<n>         top-k most similar nodes for u
+//	GET  /query?u=<u>&v=<v>           the single score FSimχ(u, v)
+//	POST /match?variant=<v>           pattern-match the uploaded graph (body =
+//	                                  graph text; s, dp, b, bj, or strong)
+//	POST /align?variant=<v>&theta=<t> align the uploaded graph's nodes to the
+//	                                  live graph (b or bj)
+//	GET  /nodesim?u=&v=&measure=<m>   one node-pair similarity (fsim, jaccard,
+//	                                  or simgram)
+//
+// plus the system plane:
+//
 //	POST /updates               update-stream body ("+n" / "+e" / "-e" lines)
 //	GET  /healthz               liveness and current graph version
 //	GET  /stats                 serving counters (cache, coalescing, latency)
@@ -163,6 +174,10 @@ type Server struct {
 	ix   *query.Index
 	opts Options
 
+	// workloads is this server's snapshot of the workload registry: the
+	// mux, per-endpoint counters, and cache counter blocks derive from it.
+	workloads map[string]*servedWorkload // by path
+
 	cache   *resultCache // nil when disabled
 	flights flightGroup
 	sem     chan struct{} // nil when unlimited
@@ -188,18 +203,19 @@ type Server struct {
 	drained  chan struct{}
 }
 
-// metrics are the /stats counters (see internal/stats).
+// metrics are the system-endpoint /stats counters (see internal/stats);
+// workload request counters live on each servedWorkload.
 type metrics struct {
-	topk, query, updates, healthz, statsReqs stats.Counter
-	readyz, changesReqs, snapshotReqs        stats.Counter
-	hits, misses, coalesced                  stats.Counter
-	rejected, unavailable, badRequests       stats.Counter
-	updatesApplied, fullRecomputes           stats.Counter
-	checkpoints, checkpointErrors            stats.Counter
-	changesServed, changesCompacted          stats.Counter
-	snapshotsServed, snapshotErrors          stats.Counter
-	computeInFlight                          stats.Gauge
-	computeLatency, updateLatency            stats.Latency
+	updates, healthz, statsReqs        stats.Counter
+	readyz, changesReqs, snapshotReqs  stats.Counter
+	hits, misses, coalesced            stats.Counter
+	rejected, unavailable, badRequests stats.Counter
+	updatesApplied, fullRecomputes     stats.Counter
+	checkpoints, checkpointErrors      stats.Counter
+	changesServed, changesCompacted    stats.Counter
+	snapshotsServed, snapshotErrors    stats.Counter
+	computeInFlight                    stats.Gauge
+	computeLatency, updateLatency      stats.Latency
 }
 
 // New builds a Server over a fresh maintainer: the initial fixed point of
@@ -218,6 +234,11 @@ func New(g *graph.Graph, opts core.Options, sopts Options) (*Server, error) {
 func NewFromMaintainer(mt *dynamic.Maintainer, sopts Options) *Server {
 	sopts = sopts.withDefaults()
 	s := &Server{mt: mt, ix: mt.Index(), opts: sopts}
+	s.workloads = map[string]*servedWorkload{}
+	for _, w := range registered() {
+		spec := w.Spec()
+		s.workloads[spec.Path] = &servedWorkload{w: w, spec: spec}
+	}
 	if sopts.Role == RoleLeader {
 		retain := sopts.RetainVersions
 		if retain < 0 {
@@ -229,6 +250,9 @@ func NewFromMaintainer(mt *dynamic.Maintainer, sopts Options) *Server {
 	}
 	if sopts.CacheEntries > 0 {
 		s.cache = newResultCache(sopts.CacheEntries, sopts.CacheShards)
+		for _, sw := range s.workloads {
+			s.cache.registerEndpoint(sw.spec.Name)
+		}
 	}
 	if sopts.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, sopts.MaxInFlight)
@@ -417,9 +441,10 @@ type StatsResponse struct {
 	LastCheckpointError string       `json:"lastCheckpointError,omitempty"`
 	ComputeLatency      LatencyStats `json:"computeLatency"`
 	UpdateLatency       LatencyStats `json:"updateLatency"`
-	// Cache breaks the result cache down per endpoint ("topk", "query"):
-	// hits/misses measured at the cache, LRU evictions, and version-bump
-	// purges. Absent when caching is disabled.
+	// Cache breaks the result cache down per registered workload ("topk",
+	// "query", "match", "align", "nodesim", …): hits/misses measured at
+	// the cache, LRU evictions, and version-bump purges. Absent when
+	// caching is disabled.
 	Cache map[string]CacheEndpointStats `json:"cache,omitempty"`
 	// Replication reports the leader's change-log occupancy and served
 	// replication traffic. Absent on non-leader roles.
@@ -448,13 +473,14 @@ const (
 // body was computed at (exported for routing clients).
 const VersionHeader = versionHeader
 
-// ServeHTTP routes the endpoints.
+// ServeHTTP routes the endpoints: registered workloads first (the mux is
+// the registry snapshot, not a switch), then the system plane.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if sw, ok := s.workloads[r.URL.Path]; ok {
+		s.handleWorkload(w, r, sw)
+		return
+	}
 	switch r.URL.Path {
-	case "/topk":
-		s.handleTopK(w, r)
-	case "/query":
-		s.handleQuery(w, r)
 	case "/updates":
 		s.handleUpdates(w, r)
 	case "/healthz":
@@ -539,67 +565,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	s.metrics.topk.Inc()
-	if r.Method != http.MethodGet {
-		s.methodNotAllowed(w, http.MethodGet)
-		return
-	}
-	u, err := intParam(r, "u")
-	if err == nil {
-		var k int
-		k, err = intParam(r, "k")
-		if err == nil {
-			s.serveComputed(w, fmt.Sprintf("t/%d/%d", u, k), func() ([]byte, uint64, error) {
-				snap, err := s.ix.TopKSnapshot(graph.NodeID(u), k)
-				if err != nil {
-					return nil, 0, err
-				}
-				resp := TopKResponse{U: u, K: k, GraphVersion: snap.Version, Results: make([]RankedScore, len(snap.Top))}
-				for i, t := range snap.Top {
-					resp.Results[i] = RankedScore{Node: t.Index, Score: t.Score}
-				}
-				body, err := json.Marshal(resp)
-				return body, snap.Version, err
-			})
-			return
-		}
-	}
-	s.badRequest(w, err)
-}
-
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.metrics.query.Inc()
-	if r.Method != http.MethodGet {
-		s.methodNotAllowed(w, http.MethodGet)
-		return
-	}
-	u, err := intParam(r, "u")
-	if err == nil {
-		var v int
-		v, err = intParam(r, "v")
-		if err == nil {
-			s.serveComputed(w, fmt.Sprintf("q/%d/%d", u, v), func() ([]byte, uint64, error) {
-				snap, err := s.ix.QuerySnapshot(graph.NodeID(u), graph.NodeID(v))
-				if err != nil {
-					return nil, 0, err
-				}
-				body, err := json.Marshal(QueryResponse{U: u, V: v, GraphVersion: snap.Version, Score: snap.Score})
-				return body, snap.Version, err
-			})
-			return
-		}
-	}
-	s.badRequest(w, err)
-}
-
-// serveComputed is the shared read path: version-stamped cache lookup,
-// coalesced + admission-controlled computation on miss, cache fill. The
-// compute callback returns the marshaled body and the version its scores
-// were computed at (which may be newer than the looked-up version when an
-// update commits concurrently; the body is stamped either way, so the
-// response stays self-consistent).
-func (s *Server) serveComputed(w http.ResponseWriter, baseKey string, compute func() ([]byte, uint64, error)) {
+// serveComputed is the shared read path every workload rides:
+// version-stamped cache lookup, coalesced + admission-controlled
+// computation on miss, cache fill. The compute callback returns the
+// marshaled body and the version its scores were computed at (which may be
+// newer than the looked-up version when an update commits concurrently;
+// the body is stamped either way, so the response stays self-consistent).
+func (s *Server) serveComputed(w http.ResponseWriter, baseKey string, admission AdmissionClass, compute ComputeFunc) {
 	if !s.enter() {
 		s.unavailable(w)
 		return
@@ -619,7 +591,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, baseKey string, compute fu
 	s.metrics.misses.Inc()
 
 	run := func() ([]byte, uint64, error) {
-		if s.sem != nil {
+		if s.sem != nil && admission == AdmitCompute {
 			select {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
@@ -892,8 +864,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Nodes:        g.NumNodes(),
 		Edges:        g.NumEdges(),
 		Requests: map[string]int64{
-			"topk":     m.topk.Value(),
-			"query":    m.query.Value(),
 			"updates":  m.updates.Value(),
 			"healthz":  m.healthz.Value(),
 			"readyz":   m.readyz.Value(),
@@ -917,16 +887,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ComputeLatency: latencyStats(&m.computeLatency),
 		UpdateLatency:  latencyStats(&m.updateLatency),
 	}
+	for _, sw := range s.workloads {
+		resp.Requests[sw.spec.Name] = sw.requests.Value()
+	}
 	if msg, ok := s.ckptLastErr.Load().(string); ok {
 		resp.LastCheckpointError = msg
 	}
 	if s.cache != nil {
 		resp.CacheEntries = s.cache.len()
 		resp.CacheCapacity = s.cache.cap()
-		resp.Cache = map[string]CacheEndpointStats{
-			"topk":  s.cache.topk.snapshot(),
-			"query": s.cache.query.snapshot(),
-		}
+		resp.Cache = s.cache.endpointSnapshots()
 	}
 	if s.opts.Role == RoleLeader {
 		ls := s.mt.LogStats()
